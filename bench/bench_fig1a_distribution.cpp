@@ -1,0 +1,74 @@
+// Regenerates Fig. 1(a): weight and activation distributions of the
+// OPT-6.7B-class model — Gaussian bulk, average outliers ~10x, extremes
+// ~100x, the structure that breaks plain INT/BFP quantisation.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "llm/capture.hpp"
+
+namespace {
+
+void print_histogram(const std::string& label,
+                     const std::vector<double>& values, double max_value,
+                     std::size_t bins) {
+  const std::vector<std::size_t> counts =
+      bbal::abs_histogram(values, max_value, bins);
+  std::size_t peak = 1;
+  for (const std::size_t c : counts) peak = std::max(peak, c);
+  std::printf("\n%s (|value| histogram, %zu samples)\n", label.c_str(),
+              values.size());
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double lo = max_value * static_cast<double>(b) / bins;
+    const int width = static_cast<int>(
+        60.0 * std::log1p(static_cast<double>(counts[b])) /
+        std::log1p(static_cast<double>(peak)));
+    std::printf("  %6.2f | %-60s %zu\n", lo,
+                std::string(static_cast<std::size_t>(width), '#').c_str(),
+                counts[b]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace bbal;
+  using namespace bbal::llm;
+
+  print_banner("Fig. 1(a): OPT-6.7B weight/activation distribution");
+  const CaptureResult capture =
+      capture_layer_data(config_by_name("OPT-6.7B"), 160);
+
+  // Pool across layer kinds.
+  std::vector<double> acts;
+  std::vector<double> weights;
+  for (const auto& [kind, vals] : capture.activations)
+    acts.insert(acts.end(), vals.begin(), vals.end());
+  for (const auto& [kind, vals] : capture.weights)
+    weights.insert(weights.end(), vals.begin(), vals.end());
+
+  print_histogram("Activations", acts, 16.0, 16);
+  print_histogram("Weights", weights, 1.0, 16);
+
+  TextTable table({"Tensor", "mean|x|", "p99|x|", "max|x|", "avg-outlier/mean",
+                   "extreme/mean"});
+  for (const auto& [label, vals] :
+       {std::pair<std::string, std::vector<double>*>{"Activations", &acts},
+        {"Weights", &weights}}) {
+    const double m = mean_abs(*vals);
+    const double p99 = abs_percentile(*vals, 99.0);
+    const double mx = max_abs(*vals);
+    table.add_row({label, TextTable::num(m, 4), TextTable::num(p99, 3),
+                   TextTable::num(mx, 2), TextTable::num(p99 / m, 1) + "x",
+                   TextTable::num(mx / m, 1) + "x"});
+  }
+  std::printf("\n");
+  table.print();
+  std::printf(
+      "\nPaper's reading of Fig. 1(a): average outliers ~10x the bulk,\n"
+      "extremes ~100x — hard to capture with INT grids.\n");
+  return 0;
+}

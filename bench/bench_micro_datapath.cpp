@@ -1,0 +1,91 @@
+// Google-benchmark microbenchmarks of the core datapath: block encode,
+// block dot product, tensor quantisation, bit-exact GEMM and the nonlinear
+// engine. Not a paper artefact — this tracks the library's own performance.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "accel/gemm_executor.hpp"
+#include "common/rng.hpp"
+#include "llm/tensor.hpp"
+#include "nl/engine.hpp"
+#include "quant/block.hpp"
+#include "quant/dot.hpp"
+
+namespace {
+
+using namespace bbal;
+
+std::vector<double> random_block(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.heavy_tailed(1.0, 0.05, 15.0);
+  return xs;
+}
+
+void BM_EncodeBlockBbfp42(benchmark::State& state) {
+  const auto xs = random_block(1, 32);
+  const auto fmt = quant::BlockFormat::bbfp(4, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(quant::encode_block(xs, fmt));
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_EncodeBlockBbfp42);
+
+void BM_EncodeBlockBfp8(benchmark::State& state) {
+  const auto xs = random_block(2, 32);
+  const auto fmt = quant::BlockFormat::bfp(8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(quant::encode_block(xs, fmt));
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_EncodeBlockBfp8);
+
+void BM_BlockDot(benchmark::State& state) {
+  const auto fmt = quant::BlockFormat::bbfp(4, 2);
+  const auto ea = quant::encode_block(random_block(3, 32), fmt);
+  const auto eb = quant::encode_block(random_block(4, 32), fmt);
+  for (auto _ : state) benchmark::DoNotOptimize(quant::dot_block(ea, eb));
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_BlockDot);
+
+void BM_QuantiseTensor(benchmark::State& state) {
+  const auto xs = random_block(5, 4096);
+  const auto fmt = quant::BlockFormat::bbfp(6, 3);
+  std::vector<double> out(xs.size());
+  for (auto _ : state)
+    quant::quantise(xs, fmt, std::span<double>(out));
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_QuantiseTensor);
+
+void BM_BitExactGemm(benchmark::State& state) {
+  Rng rng(6);
+  llm::Matrix a(16, 128), w(128, 16);
+  for (float& v : a.flat()) v = static_cast<float>(rng.gaussian());
+  for (float& v : w.flat()) v = static_cast<float>(rng.gaussian());
+  const auto fmt = quant::BlockFormat::bbfp(4, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(accel::execute_gemm_bit_exact(a, w, fmt, fmt));
+  state.SetItemsProcessed(state.iterations() * 16 * 128 * 16);
+}
+BENCHMARK(BM_BitExactGemm);
+
+void BM_NlSoftmax128(benchmark::State& state) {
+  nl::NlUnitEngine engine(quant::BlockFormat::bbfp(10, 5));
+  Rng rng(7);
+  std::vector<float> base(128);
+  for (auto& x : base) x = static_cast<float>(rng.gaussian(0.0, 3.0));
+  for (auto _ : state) {
+    std::vector<float> xs = base;
+    engine.softmax(xs);
+    benchmark::DoNotOptimize(xs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_NlSoftmax128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

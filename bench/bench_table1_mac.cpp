@@ -1,0 +1,58 @@
+// Regenerates Table I: MAC unit area, equivalent bit-width and memory
+// efficiency for FP16 / INT8 / BFP8 / BFP6 / BBFP(8,4) / BBFP(6,3).
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "hw/datapath_designs.hpp"
+
+namespace {
+
+struct Row {
+  bbal::hw::DatapathDesign design;
+  int block_size;
+  double paper_area;
+  double paper_equiv_bits;
+  double paper_mem_eff;
+};
+
+}  // namespace
+
+int main() {
+  using bbal::TextTable;
+  using namespace bbal::hw;
+  using bbal::quant::BlockFormat;
+
+  bbal::print_banner("Table I: MAC unit area / equivalent bits / memory efficiency");
+  const CellLibrary& lib = CellLibrary::tsmc28();
+
+  const std::vector<Row> rows = {
+      {fp16_mac(), 1, 39599, 16.00, 1.00},
+      {int_mac(8), 1, 9257, 8.00, 2.00},
+      {bfp_mac(BlockFormat::bfp(8)), 32, 9371, 9.16, 1.75},
+      {bfp_mac(BlockFormat::bfp(6)), 32, 5633, 7.16, 2.24},
+      {bbfp_mac(BlockFormat::bbfp(8, 4)), 32, 9806, 10.16, 1.58},
+      {bbfp_mac(BlockFormat::bbfp(6, 3)), 32, 5764, 8.16, 1.96},
+  };
+
+  TextTable table({"Datatype", "BlockSize", "Area um2", "Paper Area",
+                   "Equiv Bits", "Paper Bits", "Mem Eff", "Paper Eff"});
+  for (const Row& r : rows) {
+    const double eff = 16.0 / r.design.equivalent_bits;
+    table.add_row({r.design.name, std::to_string(r.block_size),
+                   TextTable::num(r.design.area_um2(lib), 0),
+                   TextTable::num(r.paper_area, 0),
+                   TextTable::num(r.design.equivalent_bits, 2),
+                   TextTable::num(r.paper_equiv_bits, 2),
+                   TextTable::num(eff, 2) + "x",
+                   TextTable::num(r.paper_mem_eff, 2) + "x"});
+  }
+  table.print();
+
+  std::printf(
+      "\nHeadline check: BBFP(6,3) area %.0f < BFP8 area %.0f with wider "
+      "mantissa reach (Table I's representational-power claim).\n",
+      bbfp_mac(BlockFormat::bbfp(6, 3)).area_um2(lib),
+      bfp_mac(BlockFormat::bfp(8)).area_um2(lib));
+  return 0;
+}

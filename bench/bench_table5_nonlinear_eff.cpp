@@ -1,0 +1,93 @@
+// Regenerates Table V: nonlinear unit comparison — ADP, EDP, efficiency and
+// compatibility for [32] pseudo-softmax, [33] base-2 high-precision and the
+// BBAL unit. Also reports each unit's softmax accuracy (our addition).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "llm/tensor.hpp"
+#include "nl/backends.hpp"
+#include "nl/unit_cost.hpp"
+
+namespace {
+
+/// Mean |error| of a unit's softmax vs FP32 on random score vectors.
+template <typename Unit>
+double softmax_mean_abs_err(Unit& unit) {
+  bbal::Rng rng(99);
+  double err = 0.0;
+  int count = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<float> xs(128);
+    for (auto& x : xs) x = static_cast<float>(rng.gaussian(0.0, 2.0));
+    std::vector<float> ref = xs;
+    bbal::llm::softmax_reference(ref);
+    unit.softmax(xs);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      err += std::fabs(xs[i] - ref[i]);
+      ++count;
+    }
+  }
+  return err / count;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bbal;
+  using namespace bbal::nl;
+
+  print_banner("Table V: nonlinear unit ADP / EDP / efficiency");
+
+  struct Row {
+    NlUnitCost cost;
+    double paper_adp, paper_edp, paper_eff;
+    double accuracy_err;
+    std::string compat;
+  };
+
+  PseudoSoftmaxBackend pseudo;
+  Base2SoftmaxBackend base2;
+  LutNonlinearBackend ours(quant::BlockFormat::bbfp(10, 5));
+
+  std::vector<Row> rows = {
+      {pseudo_softmax_cost(), 4.33, 79.58, 85.98, softmax_mean_abs_err(pseudo),
+       "softmax only"},
+      {base2_softmax_cost(), 299.13, 18691.24, 3.31,
+       softmax_mean_abs_err(base2), "softmax only"},
+      {bbal_nl_unit_cost(16), 32.64, 1040.40, 98.03,
+       softmax_mean_abs_err(ours), "SILU and so on"},
+  };
+
+  TextTable table({"Unit", "Format", "Lanes", "Area mm2", "Power W",
+                   "Delay ns", "ADP", "(paper)", "EDP", "(paper)", "Eff",
+                   "(paper)", "|err|", "Compat"});
+  for (const Row& r : rows) {
+    table.add_row({r.cost.name, r.cost.num_format,
+                   std::to_string(r.cost.lanes),
+                   TextTable::num(r.cost.area_mm2, 4),
+                   TextTable::num(r.cost.power_w, 4),
+                   TextTable::num(r.cost.softmax_delay_ns(128), 1),
+                   TextTable::num(r.cost.adp(), 2),
+                   TextTable::num(r.paper_adp, 2),
+                   TextTable::num(r.cost.edp(), 1),
+                   TextTable::num(r.paper_edp, 1),
+                   TextTable::num(r.cost.efficiency(), 1),
+                   TextTable::num(r.paper_eff, 1),
+                   TextTable::num(r.accuracy_err, 5), r.compat});
+  }
+  table.print();
+
+  const NlUnitCost our_cost = bbal_nl_unit_cost(16);
+  const NlUnitCost hp = base2_softmax_cost();
+  std::printf(
+      "\nHeadline check: our efficiency / high-precision [33] efficiency = "
+      "%.1fx (paper: ~30x)\n",
+      our_cost.efficiency() / hp.efficiency());
+  std::printf(
+      "Orderings to check: ADP/EDP [32] < ours << [33]; Eff ours > [32] >> "
+      "[33]; only ours supports SiLU/GELU (compatibility column).\n");
+  return 0;
+}

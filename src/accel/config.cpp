@@ -1,0 +1,27 @@
+#include "accel/config.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bbal::accel {
+
+AcceleratorConfig iso_area_config(const std::string& strategy,
+                                  double pe_area_budget_um2,
+                                  double dram_gbps) {
+  assert(pe_area_budget_um2 > 0.0);
+  AcceleratorConfig cfg;
+  cfg.strategy = strategy;
+  cfg.dram_gbps = dram_gbps;
+  const double pe_area =
+      hw::pe_for_strategy(strategy).area_um2(hw::CellLibrary::tsmc28());
+  const auto n_pe = static_cast<int>(pe_area_budget_um2 / pe_area);
+  assert(n_pe >= 1);
+  // Near-square array, rows <= cols.
+  int rows = std::max(1, static_cast<int>(std::sqrt(n_pe)));
+  const int cols = std::max(1, n_pe / rows);
+  cfg.array_rows = rows;
+  cfg.array_cols = cols;
+  return cfg;
+}
+
+}  // namespace bbal::accel

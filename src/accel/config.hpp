@@ -1,0 +1,45 @@
+// BBAL accelerator configuration (Fig. 7): weight-stationary PE array,
+// on-chip buffers, encoders, FP accumulation path and the nonlinear unit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "hw/datapath_designs.hpp"
+
+namespace bbal::accel {
+
+struct AcceleratorConfig {
+  /// PE datapath strategy: "BBFP(m,o)", "BFPn", "INTn", "FP16", "Oltron",
+  /// "Olive" — resolved through hw::pe_for_strategy.
+  std::string strategy = "BBFP(4,2)";
+  int array_rows = 16;
+  int array_cols = 16;
+  double freq_ghz = 1.0;
+  std::size_t weight_buffer_bytes = 128 * 1024;
+  std::size_t act_buffer_bytes = 64 * 1024;
+  std::size_t out_buffer_bytes = 64 * 1024;
+  double dram_gbps = hw::kDramBandwidthGBs;
+
+  [[nodiscard]] int pe_count() const { return array_rows * array_cols; }
+  [[nodiscard]] hw::DatapathDesign pe_design() const {
+    return hw::pe_for_strategy(strategy);
+  }
+  /// Storage bits per element of the strategy's number format.
+  [[nodiscard]] double bits_per_element() const {
+    return pe_design().equivalent_bits;
+  }
+  /// Total PE-array area, um^2.
+  [[nodiscard]] double pe_array_area_um2() const {
+    return pe_design().area_um2(hw::CellLibrary::tsmc28()) * pe_count();
+  }
+};
+
+/// Build an iso-area configuration: as many PEs of `strategy` as fit in
+/// `pe_area_budget_um2`, arranged near-square (Fig. 8's comparison rule).
+[[nodiscard]] AcceleratorConfig iso_area_config(const std::string& strategy,
+                                                double pe_area_budget_um2,
+                                                double dram_gbps =
+                                                    hw::kDramBandwidthGBs);
+
+}  // namespace bbal::accel

@@ -1,0 +1,70 @@
+#include "accel/encoders.hpp"
+
+namespace bbal::accel {
+
+using arith::GateTally;
+using hw::DatapathDesign;
+
+DatapathDesign input_encoder(const quant::BlockFormat& fmt, int lanes) {
+  DatapathDesign d;
+  d.name = "input_encoder(" + fmt.name() + ")";
+  d.lanes = lanes;
+  d.equivalent_bits = fmt.equivalent_bits();
+  // Per lane: FP16 unpack (registers), exponent compare against the shared
+  // exponent, alignment shifter over the source mantissa, round + clip.
+  d.lane += arith::comparator(5);
+  d.lane += arith::barrel_shifter(fmt.source_precision,
+                                  fmt.source_precision + 4);
+  d.lane += arith::ripple_adder(fmt.mantissa_bits);  // round increment
+  d.lane += arith::register_bank(fmt.mantissa_bits + 2);
+  // Shared: max-exponent reduction tree (lanes-1 comparators) and the
+  // shared-exponent subtract of Eq. (9).
+  d.shared += arith::comparator(5) * (lanes - 1);
+  d.shared += arith::ripple_adder(5);
+  d.shared += arith::register_bank(5 + 1);
+  return d;
+}
+
+DatapathDesign fp_encoder(const quant::BlockFormat& fmt, int columns) {
+  DatapathDesign d;
+  d.name = "fp_encoder(" + fmt.name() + ")";
+  d.lanes = columns;
+  const int psum_bits = 2 * fmt.mantissa_bits + 2 * fmt.shift_distance() + 4;
+  d.lane += arith::leading_one_detector(psum_bits);
+  d.lane += arith::barrel_shifter(psum_bits, psum_bits);
+  d.lane += arith::ripple_adder(8);  // exponent assembly
+  d.lane += arith::register_bank(32);
+  return d;
+}
+
+DatapathDesign output_encoder(const quant::BlockFormat& fmt, int lanes) {
+  // Structurally the input encoder on FP32 inputs.
+  DatapathDesign d = input_encoder(fmt, lanes);
+  d.name = "output_encoder(" + fmt.name() + ")";
+  return d;
+}
+
+DatapathDesign fp_adder_and_max(int lanes) {
+  DatapathDesign d;
+  d.name = "fp_adder_max";
+  d.lanes = lanes;
+  // FP32 adder: align shifter + 28-bit add + renormalise; max unit: one
+  // comparator per lane.
+  d.lane += arith::barrel_shifter(28, 28);
+  d.lane += arith::ripple_adder(28);
+  d.lane += arith::leading_one_detector(28);
+  d.lane += arith::barrel_shifter(28, 28);
+  d.lane += arith::comparator(32);
+  d.lane += arith::register_bank(32);
+  return d;
+}
+
+double encoder_area_um2(const quant::BlockFormat& fmt, int array_cols) {
+  const hw::CellLibrary& lib = hw::CellLibrary::tsmc28();
+  return input_encoder(fmt).area_um2(lib) +
+         fp_encoder(fmt, array_cols).area_um2(lib) +
+         output_encoder(fmt).area_um2(lib) +
+         fp_adder_and_max(array_cols).area_um2(lib);
+}
+
+}  // namespace bbal::accel

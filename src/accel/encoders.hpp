@@ -1,0 +1,34 @@
+// Gate-level models of the BBAL encoder blocks (Fig. 7): the input encoder
+// (FP16 -> BBFP blocks), the FP encoder (PE-array partial sums -> FP), the
+// output encoder (FP -> BBFP for writeback) and the FP adder / max unit.
+// These complete the accelerator area/energy accounting beyond the PE array.
+#pragma once
+
+#include "hw/datapath_designs.hpp"
+#include "quant/format.hpp"
+
+namespace bbal::accel {
+
+/// Input encoder: per-lane exponent extraction, a block max-exponent
+/// reduction tree and per-lane alignment shifters (one 32-lane block).
+[[nodiscard]] hw::DatapathDesign input_encoder(const quant::BlockFormat& fmt,
+                                               int lanes = 32);
+
+/// FP encoder: converts a column's integer partial sum into FP32
+/// (leading-one detect + normalise + pack), one per array column.
+[[nodiscard]] hw::DatapathDesign fp_encoder(const quant::BlockFormat& fmt,
+                                            int columns);
+
+/// Output encoder: FP32 results back to the block format for writeback.
+[[nodiscard]] hw::DatapathDesign output_encoder(const quant::BlockFormat& fmt,
+                                                int lanes = 32);
+
+/// FP32 adder bank + max unit feeding the nonlinear unit (Fig. 7).
+[[nodiscard]] hw::DatapathDesign fp_adder_and_max(int lanes);
+
+/// Total non-PE datapath area of a BBAL instance with the given array
+/// width (everything in Fig. 7 except PEs, buffers and the nonlinear unit).
+[[nodiscard]] double encoder_area_um2(const quant::BlockFormat& fmt,
+                                      int array_cols);
+
+}  // namespace bbal::accel

@@ -1,0 +1,68 @@
+#include "accel/gemm_executor.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "quant/block.hpp"
+#include "quant/dot.hpp"
+
+namespace bbal::accel {
+
+llm::Matrix execute_gemm_bit_exact(const llm::Matrix& acts,
+                                   const llm::Matrix& weights,
+                                   const quant::BlockFormat& act_fmt,
+                                   const quant::BlockFormat& weight_fmt) {
+  assert(acts.cols() == weights.rows());
+  assert(act_fmt.block_size == weight_fmt.block_size);
+  const int m = acts.rows();
+  const int k = acts.cols();
+  const int n = weights.cols();
+  const int bs = act_fmt.block_size;
+  const int blocks = (k + bs - 1) / bs;
+
+  // Input encoder: all weight-column blocks once (weight stationary).
+  std::vector<quant::EncodedBlock> wblocks(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(blocks));
+  {
+    std::vector<double> buf(static_cast<std::size_t>(bs));
+    for (int j = 0; j < n; ++j) {
+      for (int b = 0; b < blocks; ++b) {
+        const int k0 = b * bs;
+        const int len = std::min(bs, k - k0);
+        for (int i = 0; i < len; ++i)
+          buf[static_cast<std::size_t>(i)] = weights.at(k0 + i, j);
+        wblocks[static_cast<std::size_t>(j) * blocks + b] = quant::encode_block(
+            std::span<const double>(buf.data(), static_cast<std::size_t>(len)),
+            weight_fmt);
+      }
+    }
+  }
+
+  llm::Matrix out(m, n);
+  std::vector<quant::EncodedBlock> arow(static_cast<std::size_t>(blocks));
+  std::vector<double> buf(static_cast<std::size_t>(bs));
+  for (int i = 0; i < m; ++i) {
+    // Input encoder: one activation row, block by block.
+    for (int b = 0; b < blocks; ++b) {
+      const int k0 = b * bs;
+      const int len = std::min(bs, k - k0);
+      for (int x = 0; x < len; ++x)
+        buf[static_cast<std::size_t>(x)] = acts.at(i, k0 + x);
+      arow[static_cast<std::size_t>(b)] = quant::encode_block(
+          std::span<const double>(buf.data(), static_cast<std::size_t>(len)),
+          act_fmt);
+    }
+    // PE array + FP adder: integer block dots, FP accumulation.
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int b = 0; b < blocks; ++b)
+        acc += quant::dot_block(arow[static_cast<std::size_t>(b)],
+                                wblocks[static_cast<std::size_t>(j) * blocks + b])
+                   .value;
+      out.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace bbal::accel

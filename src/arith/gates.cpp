@@ -1,0 +1,72 @@
+#include "arith/gates.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bbal::arith {
+
+GateTally array_multiplier(int n_bits, int m_bits) {
+  assert(n_bits >= 1 && m_bits >= 1);
+  GateTally t;
+  if (n_bits == 1 || m_bits == 1) {
+    t.and2 = static_cast<double>(n_bits) * m_bits;
+    return t;
+  }
+  t.and2 = static_cast<double>(n_bits) * m_bits;
+  t.full_adder = static_cast<double>(m_bits - 2) * n_bits;
+  t.half_adder = n_bits;
+  return t;
+}
+
+GateTally ripple_adder(int bits) {
+  assert(bits >= 0);
+  GateTally t;
+  t.full_adder = bits;
+  return t;
+}
+
+GateTally carry_chain(int bits) {
+  assert(bits >= 0);
+  GateTally t;
+  t.carry_cell = bits;
+  return t;
+}
+
+GateTally barrel_shifter(int width, int shift_range) {
+  assert(width >= 1 && shift_range >= 1);
+  const int stages =
+      std::max(1, static_cast<int>(std::ceil(std::log2(shift_range + 1))));
+  GateTally t;
+  t.mux2 = static_cast<double>(stages) * width;
+  return t;
+}
+
+GateTally mux_bank(int width) {
+  GateTally t;
+  t.mux2 = width;
+  return t;
+}
+
+GateTally comparator(int bits) {
+  GateTally t;
+  t.xor2 = bits;
+  t.and2 = bits;
+  t.or2 = 0.5 * bits;
+  return t;
+}
+
+GateTally register_bank(int bits) {
+  GateTally t;
+  t.dff = bits;
+  return t;
+}
+
+GateTally leading_one_detector(int bits) {
+  GateTally t;
+  t.or2 = bits;
+  t.and2 = bits;
+  t.inv = 0.5 * bits;
+  return t;
+}
+
+}  // namespace bbal::arith

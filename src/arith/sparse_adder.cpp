@@ -1,0 +1,59 @@
+#include "arith/sparse_adder.hpp"
+
+#include <cassert>
+
+#include "common/bitutils.hpp"
+
+namespace bbal::arith {
+
+SparseAddOutcome sparse_add(std::uint64_t acc, std::uint64_t addend,
+                            std::uint64_t known_zero_mask, int width) {
+  assert(width > 0 && width <= 63);
+  assert((addend & known_zero_mask) == 0 &&
+         "addend must be zero at carry-chain positions");
+  assert((acc >> width) == 0 && (addend >> width) == 0);
+
+  SparseAddOutcome out;
+  bool carry = false;
+  for (int i = 0; i < width; ++i) {
+    const bool a = bit_at(acc, i);
+    if (bit_at(known_zero_mask, i)) {
+      // Carry-chain cell (Eq. 13/14): b is structurally zero.
+      const bool s = carry != a;
+      carry = carry && a;
+      if (s) out.sum |= std::uint64_t{1} << i;
+      ++out.carry_chain_cells;
+    } else {
+      // Full adder (Eq. 11/12).
+      const bool b = bit_at(addend, i);
+      const bool s = (a != b) != carry;
+      carry = (a && b) || (carry && (a != b));
+      if (s) out.sum |= std::uint64_t{1} << i;
+      ++out.full_adder_cells;
+    }
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+std::uint64_t product_zero_mask(int m, int d, bool flag_a, bool flag_b) {
+  assert(m >= 2 && d >= 0);
+  const int field = 2 * m + 2 * d;
+  const int lift = d * ((flag_a ? 1 : 0) + (flag_b ? 1 : 0));
+  const std::uint64_t significant = low_mask(2 * m) << lift;
+  return low_mask(field) & ~significant;
+}
+
+AdderSavings adder_savings(int width, int chain_bits) {
+  assert(width > 0 && chain_bits >= 0 && chain_bits <= width);
+  // Relative gate areas: FA = 2 XOR + 2 AND + 1 OR; CC = 1 XOR + 1 AND.
+  const double fa = 2.0 * 1.1 + 2.0 * 0.6 + 0.6;  // 4.0 units
+  const double cc = 1.1 + 0.6;                    // 1.7 units
+  AdderSavings s{};
+  s.full_adder_area = fa * width;
+  s.sparse_adder_area = fa * (width - chain_bits) + cc * chain_bits;
+  s.saving_fraction = 1.0 - s.sparse_adder_area / s.full_adder_area;
+  return s;
+}
+
+}  // namespace bbal::arith

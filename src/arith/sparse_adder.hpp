@@ -1,0 +1,46 @@
+// Bit-exact emulation of the sparse partial-sum adder (Fig. 5(b), Eq. 11-14).
+//
+// After inter-block multiplication a BBFP product occupies 2m significant
+// bits inside a 2m + 2(m-o) field; the remaining positions are structurally
+// zero (their location depends only on the two flag bits). The paper replaces
+// full adders at those positions with carry-chain cells:
+//   S = C_in ^ a,   C_out = C_in & a          (b == 0)
+// This module emulates both cell types explicitly so tests can prove the
+// simplification exact, and reports the cell mix for the cost model.
+#pragma once
+
+#include <cstdint>
+
+namespace bbal::arith {
+
+struct SparseAddOutcome {
+  std::uint64_t sum = 0;
+  bool carry_out = false;
+  int full_adder_cells = 0;
+  int carry_chain_cells = 0;
+};
+
+/// Add `addend` to `acc` over `width` bits. Positions set in
+/// `known_zero_mask` are wired as carry-chain cells (the addend MUST be zero
+/// there — checked); all others are full adders.
+[[nodiscard]] SparseAddOutcome sparse_add(std::uint64_t acc,
+                                          std::uint64_t addend,
+                                          std::uint64_t known_zero_mask,
+                                          int width);
+
+/// Known-zero mask of a BBFP product field for mantissa width m, shift
+/// distance d and the two operand flags: the 2m-bit product sits at offset
+/// d * (flag_a + flag_b) inside a (2m + 2d)-bit field.
+[[nodiscard]] std::uint64_t product_zero_mask(int m, int d, bool flag_a,
+                                              bool flag_b);
+
+/// Gate-cost comparison for one partial-sum adder of `width` bits where
+/// `chain_bits` positions are carry cells: the paper's "15% reduction" claim.
+struct AdderSavings {
+  double full_adder_area;   ///< plain ripple adder, relative units
+  double sparse_adder_area; ///< FA on significant bits + CC on zero bits
+  double saving_fraction;   ///< 1 - sparse/full
+};
+[[nodiscard]] AdderSavings adder_savings(int width, int chain_bits);
+
+}  // namespace bbal::arith

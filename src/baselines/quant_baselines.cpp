@@ -1,0 +1,350 @@
+#include "baselines/quant_baselines.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace bbal::baselines {
+
+using llm::Matrix;
+
+namespace {
+
+/// Symmetric round-to-nearest onto a (2^(bits-1) - 1)-level grid.
+float snap(float x, float scale, int bits) {
+  if (scale <= 0.0f) return 0.0f;
+  const auto qmax = static_cast<float>((1 << (bits - 1)) - 1);
+  float q = std::nearbyint(x / scale);
+  q = std::clamp(q, -qmax, qmax);
+  return q * scale;
+}
+
+float absmax(std::span<const float> xs) {
+  float m = 0.0f;
+  for (const float v : xs) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+/// In-place per-row quantisation with a caller-provided vector quantiser.
+template <typename Fn>
+Matrix quantise_rows_with(const Matrix& m, Fn&& fn) {
+  Matrix q(m.rows(), m.cols());
+  for (int r = 0; r < m.rows(); ++r) fn(m.row(r), q.row(r));
+  return q;
+}
+
+/// Column-wise quantisation (weights are K x N; channels are columns).
+template <typename Fn>
+Matrix quantise_cols_with(const Matrix& m, Fn&& fn) {
+  Matrix q(m.rows(), m.cols());
+  std::vector<float> buf(static_cast<std::size_t>(m.rows()));
+  std::vector<float> out(static_cast<std::size_t>(m.rows()));
+  for (int c = 0; c < m.cols(); ++c) {
+    for (int r = 0; r < m.rows(); ++r)
+      buf[static_cast<std::size_t>(r)] = m.at(r, c);
+    fn(std::span<const float>(buf), std::span<float>(out));
+    for (int r = 0; r < m.rows(); ++r)
+      q.at(r, c) = out[static_cast<std::size_t>(r)];
+  }
+  return q;
+}
+
+}  // namespace
+
+// --- IntQuantBackend --------------------------------------------------------
+
+IntQuantBackend::IntQuantBackend(int weight_bits, int act_bits)
+    : weight_bits_(weight_bits), act_bits_(act_bits) {
+  assert(weight_bits >= 2 && act_bits >= 2);
+}
+
+std::string IntQuantBackend::name() const {
+  return "INT" + std::to_string(weight_bits_);
+}
+
+Matrix IntQuantBackend::quantise_per_row(const Matrix& m, int bits) const {
+  return quantise_rows_with(m, [bits](std::span<const float> in,
+                                      std::span<float> out) {
+    const float scale =
+        absmax(in) / static_cast<float>((1 << (bits - 1)) - 1);
+    for (std::size_t i = 0; i < in.size(); ++i)
+      out[i] = snap(in[i], scale, bits);
+  });
+}
+
+Matrix IntQuantBackend::quantise_per_col(const Matrix& m, int bits) const {
+  return quantise_cols_with(m, [bits](std::span<const float> in,
+                                      std::span<float> out) {
+    const float scale =
+        absmax(in) / static_cast<float>((1 << (bits - 1)) - 1);
+    for (std::size_t i = 0; i < in.size(); ++i)
+      out[i] = snap(in[i], scale, bits);
+  });
+}
+
+int IntQuantBackend::prepare_weights(const Matrix& w, const std::string& tag) {
+  (void)tag;
+  weights_.push_back(quantise_per_col(w, weight_bits_));
+  return static_cast<int>(weights_.size()) - 1;
+}
+
+void IntQuantBackend::matmul(const Matrix& acts, int weight_handle,
+                             Matrix& out) {
+  const Matrix qa = quantise_per_row(acts, act_bits_);
+  llm::matmul(qa, weights_[static_cast<std::size_t>(weight_handle)], out);
+}
+
+void IntQuantBackend::matmul_dynamic(const Matrix& a, const Matrix& b,
+                                     Matrix& out) {
+  llm::matmul(a, b, out);  // act-act GEMMs run on the FP path (see backend.cpp)
+}
+
+// --- OltronBackend ----------------------------------------------------------
+
+OltronBackend::OltronBackend(double outlier_budget, int group, int low_bits,
+                             int high_bits)
+    : outlier_budget_(outlier_budget),
+      group_(group),
+      low_bits_(low_bits),
+      high_bits_(high_bits) {
+  assert(outlier_budget >= 0.0 && outlier_budget <= 1.0);
+}
+
+void OltronBackend::quantise_vector(std::span<const float> in,
+                                    std::span<float> out) const {
+  assert(in.size() == out.size());
+  const std::size_t g = static_cast<std::size_t>(group_);
+  const std::size_t n_groups = (in.size() + g - 1) / g;
+
+  // Rank groups by absmax; the top `budget` fraction get high precision.
+  std::vector<std::pair<float, std::size_t>> ranked(n_groups);
+  for (std::size_t gi = 0; gi < n_groups; ++gi) {
+    const std::size_t start = gi * g;
+    const std::size_t len = std::min(g, in.size() - start);
+    ranked[gi] = {absmax(in.subspan(start, len)), gi};
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+  const auto n_high = static_cast<std::size_t>(
+      std::ceil(outlier_budget_ * static_cast<double>(n_groups)));
+  std::vector<bool> is_high(n_groups, false);
+  for (std::size_t i = 0; i < std::min(n_high, n_groups); ++i)
+    is_high[ranked[i].second] = true;
+
+  for (std::size_t gi = 0; gi < n_groups; ++gi) {
+    const std::size_t start = gi * g;
+    const std::size_t len = std::min(g, in.size() - start);
+    const int bits = is_high[gi] ? high_bits_ : low_bits_;
+    const float scale = absmax(in.subspan(start, len)) /
+                        static_cast<float>((1 << (bits - 1)) - 1);
+    for (std::size_t i = start; i < start + len; ++i)
+      out[i] = snap(in[i], scale, bits);
+  }
+}
+
+Matrix OltronBackend::quantise_rows(const Matrix& m) const {
+  return quantise_rows_with(
+      m, [this](std::span<const float> in, std::span<float> out) {
+        quantise_vector(in, out);
+      });
+}
+
+Matrix OltronBackend::quantise_cols(const Matrix& m) const {
+  return quantise_cols_with(
+      m, [this](std::span<const float> in, std::span<float> out) {
+        quantise_vector(in, out);
+      });
+}
+
+int OltronBackend::prepare_weights(const Matrix& w, const std::string& tag) {
+  (void)tag;
+  weights_.push_back(quantise_cols(w));
+  return static_cast<int>(weights_.size()) - 1;
+}
+
+void OltronBackend::matmul(const Matrix& acts, int weight_handle,
+                           Matrix& out) {
+  const Matrix qa = quantise_rows(acts);
+  llm::matmul(qa, weights_[static_cast<std::size_t>(weight_handle)], out);
+}
+
+void OltronBackend::matmul_dynamic(const Matrix& a, const Matrix& b,
+                                   Matrix& out) {
+  llm::matmul(a, b, out);  // act-act GEMMs run on the FP path
+}
+
+// --- OliveBackend -----------------------------------------------------------
+
+OliveBackend::OliveBackend(int bits, double bulk_percentile)
+    : bits_(bits), bulk_percentile_(bulk_percentile) {}
+
+void OliveBackend::quantise_vector(std::span<const float> in,
+                                   std::span<float> out) const {
+  assert(in.size() == out.size());
+  if (in.empty()) return;
+
+  // Bulk scale: percentile-based so ordinary values keep resolution.
+  std::vector<float> mags(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) mags[i] = std::fabs(in[i]);
+  std::sort(mags.begin(), mags.end());
+  const auto idx = static_cast<std::size_t>(
+      bulk_percentile_ / 100.0 * static_cast<double>(mags.size() - 1));
+  const float qmax = static_cast<float>((1 << (bits_ - 1)) - 1);
+  float scale = mags[idx] / qmax;
+  if (scale <= 0.0f) scale = 1e-8f;
+  const float grid_limit = qmax * scale;
+  // Outliers borrow the victim's bits: range extends by 2^bits.
+  const float extended_limit = grid_limit * static_cast<float>(1 << bits_);
+
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = 0.0f;
+  std::vector<bool> sacrificed(in.size(), false);
+
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (sacrificed[i]) continue;  // this slot was zeroed by a neighbour
+    const float x = in[i];
+    if (std::fabs(x) <= grid_limit) {
+      out[i] = snap(x, scale, bits_);
+      continue;
+    }
+    // Outlier: try to sacrifice the pair neighbour (Olive pairs 2i/2i+1).
+    const std::size_t buddy = (i % 2 == 0) ? i + 1 : i - 1;
+    const bool buddy_ok = buddy < in.size() && !sacrificed[buddy] &&
+                          std::fabs(in[buddy]) <= grid_limit;
+    if (buddy_ok) {
+      sacrificed[buddy] = true;
+      out[buddy] = 0.0f;  // the victim
+      const float coarse = scale * static_cast<float>(1 << bits_);
+      float q = std::nearbyint(x / coarse);
+      q = std::clamp(q, -qmax, qmax);
+      out[i] = std::clamp(q * coarse, -extended_limit, extended_limit);
+    } else {
+      // No victim available: hard clip — Olive's failure mode.
+      out[i] = std::copysign(grid_limit, x);
+    }
+  }
+}
+
+Matrix OliveBackend::quantise_rows(const Matrix& m) const {
+  return quantise_rows_with(
+      m, [this](std::span<const float> in, std::span<float> out) {
+        quantise_vector(in, out);
+      });
+}
+
+Matrix OliveBackend::quantise_cols(const Matrix& m) const {
+  return quantise_cols_with(
+      m, [this](std::span<const float> in, std::span<float> out) {
+        quantise_vector(in, out);
+      });
+}
+
+int OliveBackend::prepare_weights(const Matrix& w, const std::string& tag) {
+  (void)tag;
+  weights_.push_back(quantise_cols(w));
+  return static_cast<int>(weights_.size()) - 1;
+}
+
+void OliveBackend::matmul(const Matrix& acts, int weight_handle,
+                          Matrix& out) {
+  const Matrix qa = quantise_rows(acts);
+  llm::matmul(qa, weights_[static_cast<std::size_t>(weight_handle)], out);
+}
+
+void OliveBackend::matmul_dynamic(const Matrix& a, const Matrix& b,
+                                  Matrix& out) {
+  llm::matmul(a, b, out);  // act-act GEMMs run on the FP path
+}
+
+// --- OmniquantBackend -------------------------------------------------------
+
+OmniquantBackend::OmniquantBackend(int weight_bits, int act_bits)
+    : weight_bits_(weight_bits), act_bits_(act_bits) {}
+
+void OmniquantBackend::quantise_channel_clip_search(std::span<const float> in,
+                                                    std::span<float> out,
+                                                    int bits) {
+  assert(in.size() == out.size());
+  const float mx = absmax(in);
+  const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+  float best_clip = mx;
+  double best_mse = -1.0;
+  for (const double ratio : {0.35, 0.5, 0.65, 0.8, 0.9, 1.0}) {
+    const float clip = mx * static_cast<float>(ratio);
+    const float scale = clip / qmax;
+    double mse = 0.0;
+    for (const float x : in) {
+      const float q = snap(std::clamp(x, -clip, clip), scale, bits);
+      const double d = static_cast<double>(x) - q;
+      mse += d * d;
+    }
+    if (best_mse < 0.0 || mse < best_mse) {
+      best_mse = mse;
+      best_clip = clip;
+    }
+  }
+  const float scale = best_clip / qmax;
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out[i] = snap(std::clamp(in[i], -best_clip, best_clip), scale, bits);
+}
+
+int OmniquantBackend::prepare_weights(const Matrix& w,
+                                      const std::string& tag) {
+  (void)tag;
+  const int bits = weight_bits_;
+  weights_.push_back(quantise_cols_with(
+      w, [bits](std::span<const float> in, std::span<float> out) {
+        quantise_channel_clip_search(in, out, bits);
+      }));
+  return static_cast<int>(weights_.size()) - 1;
+}
+
+void OmniquantBackend::matmul(const Matrix& acts, int weight_handle,
+                              Matrix& out) {
+  // Learnable-equivalent-transformation emulation: migrate per-channel
+  // activation outlier scale out of the activations before per-token
+  // quantisation and fold it back afterwards (mathematically neutral, but
+  // the quantisation grid becomes per-channel aware — OmniQuant's LET).
+  const int cols = acts.cols();
+  std::vector<float> chan_max(static_cast<std::size_t>(cols), 0.0f);
+  for (int r = 0; r < acts.rows(); ++r) {
+    const std::span<const float> row = acts.row(r);
+    for (int c = 0; c < cols; ++c)
+      chan_max[static_cast<std::size_t>(c)] =
+          std::max(chan_max[static_cast<std::size_t>(c)],
+                   std::fabs(row[static_cast<std::size_t>(c)]));
+  }
+  std::vector<float> sorted = chan_max;
+  std::sort(sorted.begin(), sorted.end());
+  const float typical =
+      std::max(sorted[sorted.size() / 2], 1e-6f);  // median channel max
+  std::vector<float> smooth(static_cast<std::size_t>(cols), 1.0f);
+  for (int c = 0; c < cols; ++c) {
+    const float ratio = chan_max[static_cast<std::size_t>(c)] / typical;
+    if (ratio > 1.0f)
+      smooth[static_cast<std::size_t>(c)] = std::sqrt(ratio);
+  }
+
+  Matrix scaled(acts.rows(), acts.cols());
+  for (int r = 0; r < acts.rows(); ++r)
+    for (int c = 0; c < cols; ++c)
+      scaled.at(r, c) = acts.at(r, c) / smooth[static_cast<std::size_t>(c)];
+
+  const int bits = act_bits_;
+  Matrix qa = quantise_rows_with(
+      scaled, [bits](std::span<const float> in, std::span<float> out_row) {
+        quantise_channel_clip_search(in, out_row, bits);
+      });
+  // Fold the smoothing back (exact: only rescales the quantised grid).
+  for (int r = 0; r < qa.rows(); ++r)
+    for (int c = 0; c < cols; ++c)
+      qa.at(r, c) *= smooth[static_cast<std::size_t>(c)];
+  llm::matmul(qa, weights_[static_cast<std::size_t>(weight_handle)], out);
+}
+
+void OmniquantBackend::matmul_dynamic(const Matrix& a, const Matrix& b,
+                                      Matrix& out) {
+  llm::matmul(a, b, out);  // act-act GEMMs run on the FP path
+}
+
+}  // namespace bbal::baselines

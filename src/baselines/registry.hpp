@@ -1,0 +1,24 @@
+// Strategy registry: create a matmul backend from its Table II row name.
+// Shared by benches, examples and integration tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llm/backend.hpp"
+
+namespace bbal::baselines {
+
+/// Accepts "FP32", "FP16", "INTn", "Oltron", "Olive", "OmniQuant",
+/// "BFPn", "BBFP(m,o)". Asserts on unknown names.
+[[nodiscard]] std::unique_ptr<llm::MatmulBackend> make_matmul_backend(
+    const std::string& name);
+
+/// The strategy rows of Table II, in paper order.
+[[nodiscard]] std::vector<std::string> table2_strategies();
+
+/// True if the registry can resolve `name`.
+[[nodiscard]] bool is_known_strategy(const std::string& name);
+
+}  // namespace bbal::baselines

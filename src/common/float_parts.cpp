@@ -1,0 +1,73 @@
+#include "common/float_parts.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/bitutils.hpp"
+
+namespace bbal {
+
+FloatParts decompose(double x, int precision_bits) {
+  assert(precision_bits >= 2 && precision_bits <= 53);
+  assert(std::isfinite(x));
+  FloatParts parts;
+  if (x == 0.0) {
+    parts.zero = true;
+    parts.negative = std::signbit(x);
+    return parts;
+  }
+  parts.zero = false;
+  parts.negative = std::signbit(x);
+
+  int e2 = 0;
+  const double frac = std::frexp(std::fabs(x), &e2);  // frac in [0.5, 1)
+  // Scale so the integer part is the p-bit mantissa; round to nearest even.
+  const double scaled = std::ldexp(frac, precision_bits);
+  auto mant = static_cast<std::uint64_t>(scaled);
+  const double rem = scaled - static_cast<double>(mant);
+  if (rem > 0.5 || (rem == 0.5 && (mant & 1u) != 0)) ++mant;
+
+  int exponent = e2 - 1;  // value = (mant / 2^(p-1)) * 2^(e2-1)
+  if (mant == (std::uint64_t{1} << precision_bits)) {
+    mant >>= 1;  // rounding carry: 1.111..1 -> 10.00..0
+    ++exponent;
+  }
+  assert(mant >= (std::uint64_t{1} << (precision_bits - 1)));
+  assert(mant < (std::uint64_t{1} << precision_bits));
+  parts.mantissa = mant;
+  parts.exponent = exponent;
+  return parts;
+}
+
+double compose(const FloatParts& parts, int precision_bits) {
+  assert(precision_bits >= 2 && precision_bits <= 53);
+  if (parts.zero) return parts.negative ? -0.0 : 0.0;
+  const double mag = std::ldexp(static_cast<double>(parts.mantissa),
+                                parts.exponent - (precision_bits - 1));
+  return parts.negative ? -mag : mag;
+}
+
+int exponent_of(double x, int zero_exponent) {
+  if (x == 0.0) return zero_exponent;
+  int e2 = 0;
+  (void)std::frexp(std::fabs(x), &e2);
+  return e2 - 1;
+}
+
+double to_fp16(double x) {
+  assert(std::isfinite(x));
+  if (x == 0.0) return x;
+  const double kMax = 65504.0;
+  if (x > kMax) return kMax;
+  if (x < -kMax) return -kMax;
+
+  const FloatParts parts = decompose(x, kFp16MantissaBits);
+  if (parts.exponent >= kFp16MinExponent) return compose(parts, kFp16MantissaBits);
+
+  // Subnormal range: quantum is fixed at 2^-24.
+  const double q = std::ldexp(1.0, -24);
+  const double n = std::nearbyint(x / q);  // assumes default RNE mode
+  return n * q;
+}
+
+}  // namespace bbal

@@ -1,0 +1,36 @@
+// Small statistics helpers used by error-analysis experiments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bbal {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  // population
+[[nodiscard]] double max_abs(std::span<const double> xs);
+[[nodiscard]] double mean_abs(std::span<const double> xs);
+
+/// Mean squared error between a reference and an approximation.
+[[nodiscard]] double mse(std::span<const double> reference,
+                         std::span<const double> approx);
+
+/// Mean relative error |ref - approx| / max(|ref|, eps).
+[[nodiscard]] double mean_relative_error(std::span<const double> reference,
+                                         std::span<const double> approx,
+                                         double eps = 1e-12);
+
+/// Signal-to-quantisation-noise ratio in dB.
+[[nodiscard]] double sqnr_db(std::span<const double> reference,
+                             std::span<const double> approx);
+
+/// Fixed-width histogram over |x| in [0, max_value]; values above the range
+/// land in the last bin. Returns per-bin counts.
+[[nodiscard]] std::vector<std::size_t> abs_histogram(
+    std::span<const double> xs, double max_value, std::size_t bins);
+
+/// p-th percentile (p in [0,100]) of |x|, linear interpolation.
+[[nodiscard]] double abs_percentile(std::span<const double> xs, double p);
+
+}  // namespace bbal

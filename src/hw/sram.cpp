@@ -1,0 +1,38 @@
+#include "hw/sram.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bbal::hw {
+
+double SramMacro::area_um2() const {
+  assert(bits > 0);
+  // 28nm 6T bit cell ~0.12 um^2; array efficiency degrades for small macros.
+  const double cell = 0.12;
+  const double periphery =
+      250.0 + 1.8 * std::sqrt(static_cast<double>(bits));  // decoders, sense
+  const double efficiency = 0.45;  // typical macro-level density factor
+  return static_cast<double>(bits) * cell / efficiency + periphery;
+}
+
+double SramMacro::access_pj() const {
+  assert(bits > 0 && word_bits > 0);
+  // Per-bit read energy grows weakly with array size (longer bitlines).
+  const double kb = static_cast<double>(bits) / 8192.0;
+  const double pj_per_bit = 0.025 + 0.006 * std::log2(1.0 + kb);
+  return pj_per_bit * static_cast<double>(word_bits);
+}
+
+double SramMacro::leakage_uw() const {
+  // ~18 uW per KB at 28nm HVT-ish corners.
+  return 18.0 * static_cast<double>(bits) / 8192.0;
+}
+
+SramMacro make_sram(std::size_t bytes, int word_bits) {
+  SramMacro m;
+  m.bits = bytes * 8;
+  m.word_bits = word_bits;
+  return m;
+}
+
+}  // namespace bbal::hw

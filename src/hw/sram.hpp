@@ -1,0 +1,24 @@
+// CACTI-lite: on-chip SRAM buffer area / access-energy / leakage model.
+#pragma once
+
+#include <cstddef>
+
+namespace bbal::hw {
+
+/// Analytical SRAM macro model, 28nm-class.
+struct SramMacro {
+  std::size_t bits = 0;
+  int word_bits = 64;
+
+  /// Bit-cell array plus periphery; small arrays pay proportionally more.
+  [[nodiscard]] double area_um2() const;
+  /// Energy of one word access (read or write), pJ.
+  [[nodiscard]] double access_pj() const;
+  /// Standby leakage, uW.
+  [[nodiscard]] double leakage_uw() const;
+};
+
+/// Convenience: buffer of `bytes` with `word_bits`-bit ports.
+[[nodiscard]] SramMacro make_sram(std::size_t bytes, int word_bits = 64);
+
+}  // namespace bbal::hw

@@ -1,0 +1,31 @@
+#include "hw/tech.hpp"
+
+namespace bbal::hw {
+
+const CellLibrary& CellLibrary::tsmc28() {
+  static const CellLibrary lib{};
+  return lib;
+}
+
+double CellLibrary::area_um2(const arith::GateTally& t) const {
+  return t.and2 * area_and2 + t.or2 * area_or2 + t.xor2 * area_xor2 +
+         t.inv * area_inv + t.mux2 * area_mux2 +
+         t.half_adder * area_half_adder + t.full_adder * area_full_adder +
+         t.carry_cell * area_carry_cell + t.dff * area_dff;
+}
+
+double CellLibrary::dynamic_fj(const arith::GateTally& t) const {
+  return t.and2 * fj_and2 + t.or2 * fj_or2 + t.xor2 * fj_xor2 +
+         t.inv * fj_inv + t.mux2 * fj_mux2 + t.half_adder * fj_half_adder +
+         t.full_adder * fj_full_adder + t.carry_cell * fj_carry_cell +
+         t.dff * fj_dff;
+}
+
+double CellLibrary::leakage_nw(const arith::GateTally& t) const {
+  return t.and2 * nw_and2 + t.or2 * nw_or2 + t.xor2 * nw_xor2 +
+         t.inv * nw_inv + t.mux2 * nw_mux2 + t.half_adder * nw_half_adder +
+         t.full_adder * nw_full_adder + t.carry_cell * nw_carry_cell +
+         t.dff * nw_dff;
+}
+
+}  // namespace bbal::hw

@@ -1,0 +1,58 @@
+// 28nm-class standard-cell library: prices GateTally compositions in area,
+// dynamic energy and leakage. Stands in for the paper's TSMC 28nm + Design
+// Compiler flow; the single calibration anchor is Table I's INT8 MAC area.
+#pragma once
+
+#include "arith/gates.hpp"
+
+namespace bbal::hw {
+
+struct CellLibrary {
+  // Cell areas in um^2 (synthesised-cell footprints incl. routing share).
+  double area_and2 = 0.55;
+  double area_or2 = 0.60;
+  double area_xor2 = 1.10;
+  double area_inv = 0.30;
+  double area_mux2 = 0.85;
+  double area_half_adder = 1.20;
+  double area_full_adder = 3.40;
+  double area_carry_cell = 1.70;  // 1 XOR + 1 AND
+  double area_dff = 2.20;
+
+  // Dynamic energy per operation in fJ (average switching at ~0.5 activity).
+  double fj_and2 = 0.25;
+  double fj_or2 = 0.25;
+  double fj_xor2 = 0.50;
+  double fj_inv = 0.10;
+  double fj_mux2 = 0.35;
+  double fj_half_adder = 0.80;
+  double fj_full_adder = 1.40;
+  double fj_carry_cell = 0.70;
+  double fj_dff = 1.60;
+
+  // Leakage in nW per cell.
+  double nw_and2 = 0.50;
+  double nw_or2 = 0.50;
+  double nw_xor2 = 0.90;
+  double nw_inv = 0.25;
+  double nw_mux2 = 0.70;
+  double nw_half_adder = 1.20;
+  double nw_full_adder = 2.20;
+  double nw_carry_cell = 1.30;
+  double nw_dff = 2.80;
+
+  [[nodiscard]] static const CellLibrary& tsmc28();
+
+  [[nodiscard]] double area_um2(const arith::GateTally& t) const;
+  /// Energy of one operation through the datapath, in fJ.
+  [[nodiscard]] double dynamic_fj(const arith::GateTally& t) const;
+  /// Leakage power in nW.
+  [[nodiscard]] double leakage_nw(const arith::GateTally& t) const;
+};
+
+/// External memory (DRAM) access energy, pJ per bit. LPDDR5-class.
+inline constexpr double kDramPjPerBit = 5.0;
+/// DRAM bandwidth available to the accelerator, GB/s.
+inline constexpr double kDramBandwidthGBs = 25.6;
+
+}  // namespace bbal::hw

@@ -1,0 +1,61 @@
+#include "llm/capture.hpp"
+
+#include "llm/perplexity.hpp"
+#include "llm/transformer.hpp"
+
+namespace bbal::llm {
+
+std::string layer_kind_of_tag(const std::string& tag) {
+  const auto dot = tag.rfind('.');
+  const std::string suffix = dot == std::string::npos ? tag : tag.substr(dot + 1);
+  if (suffix == "wq") return "Query";
+  if (suffix == "wk") return "Key";
+  if (suffix == "wv") return "Value";
+  if (suffix == "wo") return "Proj";
+  if (suffix == "gate" || suffix == "up") return "FC1";
+  if (suffix == "down") return "FC2";
+  return "Head";
+}
+
+int CapturingMatmulBackend::prepare_weights(const Matrix& w,
+                                            const std::string& tag) {
+  const int handle = inner_.prepare_weights(w, tag);
+  const std::string kind = layer_kind_of_tag(tag);
+  kinds_.push_back(kind);
+  auto& store = weight_values_[kind];
+  store.insert(store.end(), w.flat().begin(), w.flat().end());
+  return handle;
+}
+
+void CapturingMatmulBackend::matmul(const Matrix& acts, int weight_handle,
+                                    Matrix& out) {
+  auto& store = captures_[kinds_[static_cast<std::size_t>(weight_handle)]];
+  store.insert(store.end(), acts.flat().begin(), acts.flat().end());
+  inner_.matmul(acts, weight_handle, out);
+}
+
+void CapturingMatmulBackend::matmul_dynamic(const Matrix& a, const Matrix& b,
+                                            Matrix& out) {
+  inner_.matmul_dynamic(a, b, out);
+}
+
+CaptureResult capture_layer_data(const ModelConfig& config, int tokens) {
+  const TransformerWeights weights = generate_weights(config);
+  CapturingMatmulBackend capture;
+  Fp32NonlinearBackend nl;
+  Transformer model(config, weights, capture, nl);
+
+  // A representative stream: self-generated at a moderate scale.
+  model.set_logit_scale(2.0f);
+  const std::vector<int> stream = sample_stream(model, tokens, config.seed);
+  (void)model.forward(stream);
+
+  CaptureResult result;
+  result.activations = capture.captures();
+  result.weights = capture.weights();
+  result.activations.erase("Head");
+  result.weights.erase("Head");
+  return result;
+}
+
+}  // namespace bbal::llm

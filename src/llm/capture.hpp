@@ -1,0 +1,58 @@
+// Activation capture: records the input activations of every linear layer
+// during a forward pass, grouped by layer kind (Query/Key/Value/Proj/
+// FC1/FC2). Feeds the distribution study (Fig. 1a) and the shared-exponent
+// error analysis (Fig. 3).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "llm/backend.hpp"
+#include "llm/model.hpp"
+
+namespace bbal::llm {
+
+/// FP32 matmul backend that additionally records the activations flowing
+/// into each registered weight matrix, keyed by the layer kind suffix of
+/// the registration tag ("wq" -> "Query", "gate" -> "FC1", ...).
+class CapturingMatmulBackend final : public MatmulBackend {
+ public:
+  int prepare_weights(const Matrix& w, const std::string& tag) override;
+  void matmul(const Matrix& acts, int weight_handle, Matrix& out) override;
+  void matmul_dynamic(const Matrix& a, const Matrix& b, Matrix& out) override;
+  [[nodiscard]] std::string name() const override { return "FP32+capture"; }
+
+  /// Captured activations per layer kind (flattened across calls).
+  [[nodiscard]] const std::map<std::string, std::vector<double>>& captures()
+      const {
+    return captures_;
+  }
+
+  /// Weight values per layer kind (flattened), for weight distributions.
+  [[nodiscard]] const std::map<std::string, std::vector<double>>& weights()
+      const {
+    return weight_values_;
+  }
+
+ private:
+  Fp32MatmulBackend inner_;
+  std::vector<std::string> kinds_;  // per handle
+  std::map<std::string, std::vector<double>> captures_;
+  std::map<std::string, std::vector<double>> weight_values_;
+};
+
+/// Map a registration tag to the paper's layer-kind label:
+/// wq->Query, wk->Key, wv->Value, wo->Proj, gate/up->FC1, down->FC2.
+[[nodiscard]] std::string layer_kind_of_tag(const std::string& tag);
+
+/// Run `config`'s model over a short self-generated stream and return the
+/// captured activations and weights per layer kind.
+struct CaptureResult {
+  std::map<std::string, std::vector<double>> activations;
+  std::map<std::string, std::vector<double>> weights;
+};
+[[nodiscard]] CaptureResult capture_layer_data(const ModelConfig& config,
+                                               int tokens = 192);
+
+}  // namespace bbal::llm

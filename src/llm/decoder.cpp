@@ -1,0 +1,114 @@
+#include "llm/decoder.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bbal::llm {
+
+Decoder::Decoder(Transformer& model) : model_(model) {
+  k_cache_.resize(static_cast<std::size_t>(model.config().n_layers));
+  v_cache_.resize(static_cast<std::size_t>(model.config().n_layers));
+}
+
+void Decoder::reset() {
+  for (auto& layer : k_cache_) layer.clear();
+  for (auto& layer : v_cache_) layer.clear();
+  ctx_len_ = 0;
+}
+
+std::vector<float> Decoder::step(int token) {
+  const ModelConfig& cfg = model_.config();
+  const TransformerWeights& w = model_.weights();
+  MatmulBackend& mm = model_.matmul_backend();
+  NonlinearBackend& nl = model_.nonlinear_backend();
+  assert(token >= 0 && token < cfg.vocab);
+
+  const int d = cfg.d_model;
+  const int heads = cfg.n_heads;
+  const int dh = cfg.head_dim();
+  const float inv_sqrt = static_cast<float>(cfg.attention_score_scale) /
+                         std::sqrt(static_cast<float>(dh));
+  const float emb_scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  // x: running hidden state for this position (1 x d as a Matrix so the
+  // quantising backends see the same row-blocked layout as batched mode).
+  Matrix x(1, d);
+  {
+    const std::span<const float> emb = w.embedding.row(token);
+    for (int c = 0; c < d; ++c)
+      x.at(0, c) = emb[static_cast<std::size_t>(c)] * emb_scale;
+  }
+
+  for (int l = 0; l < cfg.n_layers; ++l) {
+    const LayerWeights& lw = w.layers[static_cast<std::size_t>(l)];
+    const Transformer::LayerHandles& h =
+        model_.layer_handles()[static_cast<std::size_t>(l)];
+    auto& kcache = k_cache_[static_cast<std::size_t>(l)];
+    auto& vcache = v_cache_[static_cast<std::size_t>(l)];
+
+    // --- Attention ---
+    Matrix normed = x;
+    rmsnorm_rows(normed, lw.attn_norm_gain);
+    Matrix q, k, v;
+    mm.matmul(normed, h.wq, q);
+    mm.matmul(normed, h.wk, k);
+    mm.matmul(normed, h.wv, v);
+    kcache.emplace_back(k.row(0).begin(), k.row(0).end());
+    vcache.emplace_back(v.row(0).begin(), v.row(0).end());
+    const int ctx = static_cast<int>(kcache.size());
+
+    Matrix context(1, d);
+    std::vector<float> scores(static_cast<std::size_t>(ctx));
+    for (int head = 0; head < heads; ++head) {
+      const int off = head * dh;
+      for (int p = 0; p < ctx; ++p) {
+        double acc = 0.0;
+        const auto& krow = kcache[static_cast<std::size_t>(p)];
+        for (int j = 0; j < dh; ++j)
+          acc += static_cast<double>(q.at(0, off + j)) *
+                 krow[static_cast<std::size_t>(off + j)];
+        scores[static_cast<std::size_t>(p)] =
+            static_cast<float>(acc) * inv_sqrt;
+      }
+      nl.softmax(scores);
+      for (int j = 0; j < dh; ++j) {
+        double acc = 0.0;
+        for (int p = 0; p < ctx; ++p)
+          acc += static_cast<double>(scores[static_cast<std::size_t>(p)]) *
+                 vcache[static_cast<std::size_t>(p)]
+                       [static_cast<std::size_t>(off + j)];
+        context.at(0, off + j) = static_cast<float>(acc);
+      }
+    }
+    Matrix attn_out;
+    mm.matmul(context, h.wo, attn_out);
+    const auto branch = static_cast<float>(cfg.residual_branch_scale);
+    for (float& vv : attn_out.flat()) vv *= branch;
+    add_inplace(x, attn_out);
+
+    // --- MLP ---
+    Matrix normed2 = x;
+    rmsnorm_rows(normed2, lw.mlp_norm_gain);
+    Matrix gate, up;
+    mm.matmul(normed2, h.w_gate, gate);
+    mm.matmul(normed2, h.w_up, up);
+    nl.silu(gate.row(0));
+    const std::span<float> g = gate.flat();
+    const std::span<const float> u = up.flat();
+    for (std::size_t i = 0; i < g.size(); ++i) g[i] *= u[i];
+    Matrix down;
+    mm.matmul(gate, h.w_down, down);
+    for (float& vv : down.flat()) vv *= branch;
+    add_inplace(x, down);
+  }
+
+  rmsnorm_rows(x, w.final_norm_gain);
+  Matrix logits;
+  mm.matmul(x, model_.lm_head_handle(), logits);
+  std::vector<float> out(logits.row(0).begin(), logits.row(0).end());
+  for (float& vv : out) vv *= model_.logit_scale();
+  ++ctx_len_;
+  return out;
+}
+
+}  // namespace bbal::llm

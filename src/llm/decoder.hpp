@@ -1,0 +1,34 @@
+// Incremental (KV-cached) decoding: token-by-token generation used to
+// synthesise evaluation streams from the FP32 model and to drive the
+// decode-phase runtime study (Fig. 1b workload shapes).
+#pragma once
+
+#include <vector>
+
+#include "llm/transformer.hpp"
+
+namespace bbal::llm {
+
+class Decoder {
+ public:
+  /// Borrows the transformer (weights + backends) for its lifetime.
+  explicit Decoder(Transformer& model);
+
+  /// Clear the KV cache.
+  void reset();
+
+  /// Feed one token; returns the logits for the next-token distribution.
+  [[nodiscard]] std::vector<float> step(int token);
+
+  /// Current context length.
+  [[nodiscard]] int context_length() const { return ctx_len_; }
+
+ private:
+  Transformer& model_;
+  // Per layer: cached keys/values, rows = positions seen so far.
+  std::vector<std::vector<std::vector<float>>> k_cache_;
+  std::vector<std::vector<std::vector<float>>> v_cache_;
+  int ctx_len_ = 0;
+};
+
+}  // namespace bbal::llm

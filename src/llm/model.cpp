@@ -1,0 +1,182 @@
+#include "llm/model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace bbal::llm {
+namespace {
+
+/// Gaussian matrix scaled by 1/sqrt(fan_in) with `rate` outlier columns
+/// whose magnitude is multiplied by `scale * (1 + Exp(1))`.
+Matrix random_weight(Rng& rng, int rows, int cols, double rate, double scale) {
+  Matrix w(rows, cols);
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(rows));
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      w.at(r, c) = static_cast<float>(rng.gaussian(0.0, stddev));
+
+  // Outlier channels: whole columns scaled up, mimicking the per-channel
+  // outlier structure of LLM projections (Fig. 1a). The exponential tail is
+  // capped so every seed is comparably (not randomly) outlier-bearing.
+  const int n_outlier = static_cast<int>(std::ceil(rate * cols));
+  for (int i = 0; i < n_outlier; ++i) {
+    const int c = static_cast<int>(rng.uniform_int(0, cols - 1));
+    const double tail = std::min(1.2, -std::log(1.0 - rng.uniform()));
+    const double mag = scale * (1.0 + tail);
+    for (int r = 0; r < rows; ++r)
+      w.at(r, c) = static_cast<float>(w.at(r, c) * mag);
+  }
+  return w;
+}
+
+/// Norm gains: mostly ~1, a few hot channels that create activation
+/// outliers downstream (the "average outliers 10x / extreme 100x" pattern).
+std::vector<float> norm_gains(Rng& rng, int n, double rate, double scale) {
+  std::vector<float> g(static_cast<std::size_t>(n));
+  for (auto& v : g) v = static_cast<float>(1.0 + rng.gaussian(0.0, 0.05));
+  const int hot = std::max(1, static_cast<int>(std::ceil(rate * n)));
+  for (int i = 0; i < hot; ++i) {
+    const auto c = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    // Bounded hot-channel gain: consistent activation outliers per seed.
+    g[c] = static_cast<float>(g[c] * (0.4 * scale) *
+                              (1.0 + 0.3 * rng.uniform()));
+  }
+  return g;
+}
+
+}  // namespace
+
+TransformerWeights generate_weights(const ModelConfig& cfg) {
+  assert(cfg.d_model % cfg.n_heads == 0);
+  Rng rng(cfg.seed * 0x9E3779B97F4A7C15ull + 0x1234567ull);
+  TransformerWeights w;
+
+  w.embedding = Matrix(cfg.vocab, cfg.d_model);
+  for (int r = 0; r < cfg.vocab; ++r)
+    for (int c = 0; c < cfg.d_model; ++c)
+      w.embedding.at(r, c) = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+  w.layers.resize(static_cast<std::size_t>(cfg.n_layers));
+  for (auto& layer : w.layers) {
+    const int d = cfg.d_model;
+    layer.wq = random_weight(rng, d, d, cfg.outlier_rate, cfg.outlier_scale);
+    layer.wk = random_weight(rng, d, d, cfg.outlier_rate, cfg.outlier_scale);
+    layer.wv = random_weight(rng, d, d, cfg.outlier_rate * 0.5,
+                             cfg.outlier_scale * 0.5);
+    layer.wo = random_weight(rng, d, d, cfg.outlier_rate, cfg.outlier_scale);
+    layer.w_gate = random_weight(rng, d, cfg.d_ff, cfg.outlier_rate,
+                                 cfg.outlier_scale);
+    layer.w_up = random_weight(rng, d, cfg.d_ff, cfg.outlier_rate * 0.5,
+                               cfg.outlier_scale * 0.5);
+    layer.w_down = random_weight(rng, cfg.d_ff, d, cfg.outlier_rate,
+                                 cfg.outlier_scale);
+    layer.attn_norm_gain =
+        norm_gains(rng, d, cfg.outlier_rate, cfg.outlier_scale);
+    layer.mlp_norm_gain =
+        norm_gains(rng, d, cfg.outlier_rate, cfg.outlier_scale);
+  }
+
+  w.final_norm_gain.assign(static_cast<std::size_t>(cfg.d_model), 1.0f);
+  w.lm_head = random_weight(rng, cfg.d_model, cfg.vocab, 0.0, 1.0);
+  return w;
+}
+
+namespace {
+
+/// Vocabulary sized to the target perplexity tier: low-PPL models must not
+/// rely on extreme logit sharpening (which would make them unrealistically
+/// brittle under perturbation — trained LLMs reach low PPL robustly).
+int vocab_for_target(double target_ppl) {
+  if (target_ppl < 4.5) return 128;
+  if (target_ppl < 6.0) return 192;
+  if (target_ppl < 8.5) return 256;
+  if (target_ppl < 11.0) return 320;
+  return 448;
+}
+
+}  // namespace
+
+std::vector<ModelConfig> model_zoo() {
+  // Llama-like: more/larger outliers; OPT-like: fewer/smaller — matching the
+  // paper's observation that outlier-budget methods favour OPT.
+  auto llama = [](const std::string& name, int d, int layers,
+                  std::uint64_t seed, double ppl) {
+    ModelConfig c;
+    c.name = name;
+    c.vocab = vocab_for_target(ppl);
+    c.d_model = d;
+    c.d_ff = (d * 8) / 3;
+    c.n_layers = layers;
+    c.n_heads = 4;
+    c.seed = seed;
+    c.outlier_rate = 0.010;
+    c.outlier_scale = 11.0;
+    c.fp_baseline_ppl = ppl;
+    return c;
+  };
+  auto opt = [](const std::string& name, int d, int layers,
+                std::uint64_t seed, double ppl) {
+    ModelConfig c;
+    c.name = name;
+    c.vocab = vocab_for_target(ppl);
+    c.d_model = d;
+    c.d_ff = d * 4;
+    c.n_layers = layers;
+    c.n_heads = 4;
+    c.seed = seed;
+    c.outlier_rate = 0.004;
+    c.outlier_scale = 6.0;
+    c.fp_baseline_ppl = ppl;
+    return c;
+  };
+  return {
+      llama("Llama-1B", 96, 2, 11, 9.88),
+      llama("Llama-3B", 112, 2, 12, 7.87),
+      llama("Llama-7B", 128, 3, 13, 5.47),
+      llama("Llama-13B", 144, 3, 14, 5.09),
+      llama("Llama-30B", 160, 3, 15, 4.10),
+      llama("Llama-65B", 176, 3, 16, 3.53),
+      opt("OPT-1.3B", 96, 2, 21, 14.62),
+      opt("OPT-2.7B", 112, 2, 22, 12.47),
+      opt("OPT-6.7B", 128, 3, 23, 10.86),
+      opt("OPT-13B", 144, 3, 24, 10.12),
+      opt("OPT-30B", 160, 3, 25, 9.56),
+      opt("OPT-66B", 176, 3, 26, 9.34),
+  };
+}
+
+ModelConfig config_by_name(const std::string& name) {
+  for (const ModelConfig& c : model_zoo())
+    if (c.name == name) return c;
+  for (const ModelConfig& c : nonlinear_zoo())
+    if (c.name == name) return c;
+  assert(false && "unknown model name");
+  return model_zoo().front();
+}
+
+std::vector<ModelConfig> nonlinear_zoo() {
+  auto make = [](const std::string& name, std::uint64_t seed, double ppl) {
+    ModelConfig c;
+    c.name = name;
+    c.vocab = vocab_for_target(ppl);
+    c.d_model = 128;
+    c.d_ff = 344;
+    c.n_layers = 3;
+    c.n_heads = 4;
+    c.seed = seed;
+    c.outlier_rate = 0.010;
+    c.outlier_scale = 11.0;
+    c.attention_score_scale = 4.0;  // trained-LLM-like sharp heads
+    c.fp_baseline_ppl = ppl;
+    return c;
+  };
+  return {
+      make("Llama-7B-nl", 31, 5.68),
+      make("Llama2-7B-nl", 32, 5.47),
+      make("Llama3-8B-nl", 33, 6.14),
+  };
+}
+
+}  // namespace bbal::llm

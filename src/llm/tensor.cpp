@@ -1,0 +1,96 @@
+#include "llm/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bbal::llm {
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& c) {
+  assert(a.cols() == b.rows());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  c = Matrix(m, n);
+  std::vector<double> acc(static_cast<std::size_t>(n));
+  for (int i = 0; i < m; ++i) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    const std::span<const float> arow = a.row(i);
+    for (int kk = 0; kk < k; ++kk) {
+      const double av = arow[static_cast<std::size_t>(kk)];
+      if (av == 0.0) continue;
+      const std::span<const float> brow = b.row(kk);
+      for (int j = 0; j < n; ++j)
+        acc[static_cast<std::size_t>(j)] +=
+            av * brow[static_cast<std::size_t>(j)];
+    }
+    const std::span<float> crow = c.row(i);
+    for (int j = 0; j < n; ++j)
+      crow[static_cast<std::size_t>(j)] =
+          static_cast<float>(acc[static_cast<std::size_t>(j)]);
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul(a, b, c);
+  return c;
+}
+
+void matvec(std::span<const float> row_vec, const Matrix& b,
+            std::span<float> out) {
+  assert(static_cast<int>(row_vec.size()) == b.rows());
+  assert(static_cast<int>(out.size()) == b.cols());
+  const int k = b.rows();
+  const int n = b.cols();
+  std::vector<double> acc(static_cast<std::size_t>(n), 0.0);
+  for (int kk = 0; kk < k; ++kk) {
+    const double av = row_vec[static_cast<std::size_t>(kk)];
+    if (av == 0.0) continue;
+    const std::span<const float> brow = b.row(kk);
+    for (int j = 0; j < n; ++j)
+      acc[static_cast<std::size_t>(j)] +=
+          av * brow[static_cast<std::size_t>(j)];
+  }
+  for (int j = 0; j < n; ++j)
+    out[static_cast<std::size_t>(j)] =
+        static_cast<float>(acc[static_cast<std::size_t>(j)]);
+}
+
+void rmsnorm_row(std::span<float> x, std::span<const float> gain, float eps) {
+  assert(x.size() == gain.size());
+  double sq = 0.0;
+  for (const float v : x) sq += static_cast<double>(v) * v;
+  const double rms = std::sqrt(sq / static_cast<double>(x.size()) + eps);
+  const auto inv = static_cast<float>(1.0 / rms);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = x[i] * inv * gain[i];
+}
+
+void rmsnorm_rows(Matrix& x, std::span<const float> gain, float eps) {
+  for (int r = 0; r < x.rows(); ++r) rmsnorm_row(x.row(r), gain, eps);
+}
+
+void softmax_reference(std::span<float> xs) {
+  if (xs.empty()) return;
+  float mx = xs[0];
+  for (const float v : xs) mx = std::max(mx, v);
+  double sum = 0.0;
+  for (float& v : xs) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  const auto inv = static_cast<float>(1.0 / sum);
+  for (float& v : xs) v *= inv;
+}
+
+float silu_reference(float x) {
+  return x / (1.0f + std::exp(-x));
+}
+
+void add_inplace(Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  const std::span<const float> bs = b.flat();
+  const std::span<float> as = a.flat();
+  for (std::size_t i = 0; i < as.size(); ++i) as[i] += bs[i];
+}
+
+}  // namespace bbal::llm

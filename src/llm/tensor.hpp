@@ -1,0 +1,71 @@
+// Minimal dense row-major matrix with the numerics the transformer needs.
+//
+// GEMMs accumulate in double: products of block-quantised values are exact
+// in double, so the fake-quant executor matches the accelerator's integer
+// datapath bit for bit at block level (tested in test_quant_executor).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bbal::llm {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols),
+                               data_(static_cast<std::size_t>(rows) * cols) {}
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] float& at(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  [[nodiscard]] float at(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<float> row(int r) {
+    return {data_.data() + static_cast<std::size_t>(r) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+  [[nodiscard]] std::span<const float> row(int r) const {
+    return {data_.data() + static_cast<std::size_t>(r) * cols_,
+            static_cast<std::size_t>(cols_)};
+  }
+
+  [[nodiscard]] std::span<float> flat() { return data_; }
+  [[nodiscard]] std::span<const float> flat() const { return data_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. A: MxK, B: KxN, C resized to MxN. Double accumulation.
+void matmul(const Matrix& a, const Matrix& b, Matrix& c);
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// out = row_vec (1xK) * B (KxN); double accumulation.
+void matvec(std::span<const float> row_vec, const Matrix& b,
+            std::span<float> out);
+
+/// RMSNorm over each row: x <- x / rms(x) * gain.
+void rmsnorm_rows(Matrix& x, std::span<const float> gain, float eps = 1e-5f);
+void rmsnorm_row(std::span<float> x, std::span<const float> gain,
+                 float eps = 1e-5f);
+
+/// Reference FP32 softmax over a span (numerically stable, in place).
+void softmax_reference(std::span<float> xs);
+
+/// Reference FP32 SiLU: x * sigmoid(x).
+[[nodiscard]] float silu_reference(float x);
+
+/// a += b (same shape).
+void add_inplace(Matrix& a, const Matrix& b);
+
+}  // namespace bbal::llm

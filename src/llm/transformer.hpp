@@ -1,0 +1,65 @@
+// Decoder-only transformer with pluggable matmul / nonlinear backends.
+//
+// Architecture (Llama-style): RMSNorm -> multi-head causal attention ->
+// residual -> RMSNorm -> SiLU-gated MLP -> residual; final RMSNorm and a
+// linear LM head. All linear layers route through the MatmulBackend, all
+// softmax/SiLU through the NonlinearBackend, so quantisation error
+// propagates through genuine forward passes.
+#pragma once
+
+#include <span>
+
+#include "llm/backend.hpp"
+#include "llm/model.hpp"
+
+namespace bbal::llm {
+
+class Transformer {
+ public:
+  /// Backends and weights are borrowed; they must outlive the Transformer.
+  Transformer(const ModelConfig& config, const TransformerWeights& weights,
+              MatmulBackend& matmul_backend, NonlinearBackend& nl_backend);
+
+  /// Teacher-forced forward pass over a token sequence; returns logits for
+  /// every position (T x vocab), already scaled by logit_scale.
+  [[nodiscard]] Matrix forward(std::span<const int> tokens);
+
+  /// Mean next-token negative log likelihood over the sequence (position t
+  /// predicts tokens[t+1]).
+  [[nodiscard]] double mean_nll(std::span<const int> tokens);
+
+  /// Perplexity = exp(mean_nll).
+  [[nodiscard]] double perplexity(std::span<const int> tokens);
+
+  void set_logit_scale(float scale) { logit_scale_ = scale; }
+  [[nodiscard]] float logit_scale() const { return logit_scale_; }
+
+  [[nodiscard]] const ModelConfig& config() const { return config_; }
+  [[nodiscard]] const TransformerWeights& weights() const { return weights_; }
+  [[nodiscard]] MatmulBackend& matmul_backend() { return matmul_; }
+  [[nodiscard]] NonlinearBackend& nonlinear_backend() { return nonlinear_; }
+
+  /// Handles of the registered weight matrices, per layer, in the order
+  /// {wq, wk, wv, wo, w_gate, w_up, w_down}; last entry is the LM head.
+  struct LayerHandles {
+    int wq, wk, wv, wo, w_gate, w_up, w_down;
+  };
+  [[nodiscard]] const std::vector<LayerHandles>& layer_handles() const {
+    return handles_;
+  }
+  [[nodiscard]] int lm_head_handle() const { return lm_head_handle_; }
+
+ private:
+  void attention(Matrix& x, int layer);
+  void mlp(Matrix& x, int layer);
+
+  const ModelConfig& config_;
+  const TransformerWeights& weights_;
+  MatmulBackend& matmul_;
+  NonlinearBackend& nonlinear_;
+  std::vector<LayerHandles> handles_;
+  int lm_head_handle_ = -1;
+  float logit_scale_ = 1.0f;
+};
+
+}  // namespace bbal::llm

@@ -1,0 +1,138 @@
+#include "nl/engine.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "common/float_parts.hpp"
+
+namespace bbal::nl {
+namespace {
+
+double sigmoid_ref(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double phi_ref(double x) { return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0))); }
+
+}  // namespace
+
+NlUnitEngine::NlUnitEngine(quant::BlockFormat fmt, int addr_bits)
+    : fmt_(fmt), addr_bits_(addr_bits) {
+  assert(addr_bits >= 2 && addr_bits <= fmt.mantissa_bits);
+}
+
+double NlUnitEngine::quantise_entry(double v) const {
+  if (v == 0.0) return 0.0;
+  // Entries are stored with the unit's mantissa precision (sign + 5-bit
+  // exponent + m-bit mantissa), i.e. scalar round at m bits.
+  const FloatParts parts = decompose(v, fmt_.mantissa_bits);
+  return compose(parts, fmt_.mantissa_bits);
+}
+
+void NlUnitEngine::apply_lut(std::span<const double> xs, std::span<double> out,
+                             const std::function<double(double)>& f) {
+  assert(xs.size() == out.size());
+  // The Align Exponent Unit computes ONE shared exponent for the whole
+  // vector (Section IV.B: "once a shared exponent is calculated during the
+  // alignment phase, the corresponding sub-table can be loaded") — this is
+  // what makes max-aligned BFP catastrophic on wide-range vectors while
+  // BBFP's lowered exponent keeps the bulk resolution.
+  const std::size_t bs = xs.size();
+  const int m = fmt_.mantissa_bits;
+  const int dd = fmt_.shift_distance();
+  const int drop = m - addr_bits_;
+
+  for (std::size_t start = 0; start < xs.size(); start += bs) {
+    const std::size_t len = std::min(bs, xs.size() - start);
+    const quant::EncodedBlock block =
+        quant::encode_block(xs.subspan(start, len), fmt_);
+    ++stats_.blocks_encoded;
+    for (std::size_t i = 0; i < len; ++i) {
+      const quant::BlockElement& e = block.elems[i];
+      ++stats_.elements;
+      double x_mid = 0.0;
+      if (e.mantissa != 0) {
+        // LUT address: top addr_bits of the aligned mantissa. The bucket
+        // midpoint reconstructs the input the entry was tabulated at.
+        const std::uint32_t addr = e.mantissa >> drop;
+        const double mid_mantissa =
+            (static_cast<double>(addr) + 0.5) * std::ldexp(1.0, drop);
+        const double step =
+            std::ldexp(1.0, block.shared_exponent - m + 1 + (e.flag ? dd : 0));
+        x_mid = mid_mantissa * step * (e.negative ? -1.0 : 1.0);
+        ++stats_.lut_lookups;
+        stats_.subtables_touched.insert({block.shared_exponent, e.flag});
+      }
+      out[start + i] = quantise_entry(f(x_mid));
+    }
+  }
+}
+
+void NlUnitEngine::softmax(std::span<float> xs) {
+  if (xs.empty()) return;
+  // 1. Max unit.
+  float mx = xs[0];
+  for (const float v : xs) mx = std::max(mx, v);
+  // 2. Sub unit (FP16-precision subtract), then exp LUT on x - max <= 0.
+  std::vector<double> shifted(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    shifted[i] = to_fp16(static_cast<double>(xs[i]) - mx);
+  std::vector<double> exps(xs.size());
+  apply_lut(shifted, exps, [](double x) { return std::exp(x); });
+  // 3. Adder tree (high-bitwidth integer in hardware; exact here).
+  double sum = 0.0;
+  for (const double v : exps) sum += v;
+  if (sum <= 0.0) {  // degenerate: uniform fallback
+    const float u = 1.0f / static_cast<float>(xs.size());
+    for (float& v : xs) v = u;
+    return;
+  }
+  // 4. Div unit + output encoder (quotients re-quantised to m bits).
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = static_cast<float>(quantise_entry(exps[i] / sum));
+}
+
+void NlUnitEngine::silu(std::span<float> xs) {
+  std::vector<double> in(xs.begin(), xs.end());
+  std::vector<double> sig(xs.size());
+  apply_lut(in, sig, sigmoid_ref);
+  // Mul unit: multiply the vector-aligned quantised input by the entry.
+  quant::BlockFormat vec_fmt = fmt_;
+  vec_fmt.block_size = std::max<int>(1, static_cast<int>(xs.size()));
+  const std::vector<double> xq = quant::quantise(in, vec_fmt);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = static_cast<float>(quantise_entry(xq[i] * sig[i]));
+}
+
+void NlUnitEngine::gelu(std::span<float> xs) {
+  std::vector<double> in(xs.begin(), xs.end());
+  std::vector<double> phi(xs.size());
+  apply_lut(in, phi, phi_ref);
+  quant::BlockFormat vec_fmt = fmt_;
+  vec_fmt.block_size = std::max<int>(1, static_cast<int>(xs.size()));
+  const std::vector<double> xq = quant::quantise(in, vec_fmt);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = static_cast<float>(quantise_entry(xq[i] * phi[i]));
+}
+
+void NlUnitEngine::sigmoid(std::span<float> xs) {
+  std::vector<double> in(xs.begin(), xs.end());
+  std::vector<double> sig(xs.size());
+  apply_lut(in, sig, sigmoid_ref);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = static_cast<float>(sig[i]);
+}
+
+int NlUnitEngine::provisioned_subtables(int e_min, int e_max,
+                                        bool both_signs) {
+  assert(e_max >= e_min);
+  return (e_max - e_min + 1) * (both_signs ? 2 : 1);
+}
+
+std::size_t NlUnitEngine::subtable_bits() const {
+  const std::size_t entries = std::size_t{1} << addr_bits_;
+  const std::size_t entry_bits =
+      1 + static_cast<std::size_t>(fmt_.exponent_bits) +
+      static_cast<std::size_t>(fmt_.mantissa_bits);
+  return entries * entry_bits;
+}
+
+}  // namespace bbal::nl

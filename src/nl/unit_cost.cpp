@@ -1,0 +1,164 @@
+#include "nl/unit_cost.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/bitutils.hpp"
+#include "hw/sram.hpp"
+
+namespace bbal::nl {
+
+double NlUnitCost::softmax_cycles(int n) const {
+  assert(n > 0);
+  const double vec = ceil_div(n, static_cast<int>(lanes));
+  if (pipelined) {
+    // Three passes over the vector (max / exp+sum / div+encode) overlap
+    // only partially: the sum must complete before division starts.
+    return 3.0 * vec + fixed_latency_cycles;
+  }
+  // Batch unit: every `lanes`-chunk pays the full latency.
+  return vec * fixed_latency_cycles;
+}
+
+double NlUnitCost::softmax_delay_ns(int n) const {
+  return softmax_cycles(n) / freq_ghz;
+}
+
+namespace {
+
+using arith::GateTally;
+
+struct PricedUnit {
+  double area_um2 = 0.0;
+  double power_w = 0.0;
+};
+
+/// Price a datapath tally plus SRAM bytes at the given activity factor.
+PricedUnit price(const GateTally& gates, double sram_bytes, double freq_ghz,
+                 double activity) {
+  const hw::CellLibrary& lib = hw::CellLibrary::tsmc28();
+  PricedUnit p;
+  p.area_um2 = lib.area_um2(gates);
+  p.power_w = lib.dynamic_fj(gates) * 1e-15 * freq_ghz * 1e9 * activity +
+              lib.leakage_nw(gates) * 1e-9;
+  if (sram_bytes > 0) {
+    const hw::SramMacro sram =
+        hw::make_sram(static_cast<std::size_t>(sram_bytes), 128);
+    p.area_um2 += sram.area_um2();
+    p.power_w += sram.leakage_uw() * 1e-6 +
+                 sram.access_pj() * 1e-12 * freq_ghz * 1e9 * activity;
+  }
+  return p;
+}
+
+/// Integration overhead: routing, clock tree, control, redundancy. One
+/// documented constant per unit class (the paper notes its unit carries
+/// redundant vector modules for compatibility).
+constexpr double kBbalOverhead = 6.0;
+constexpr double kPseudoOverhead = 3.0;
+constexpr double kBase2Overhead = 6.0;
+
+}  // namespace
+
+NlUnitCost bbal_nl_unit_cost(int lanes) {
+  GateTally t;
+  // Align Exponent Unit: per lane comparator + alignment shifter.
+  t += arith::comparator(5) * lanes;
+  t += arith::barrel_shifter(11, 32) * lanes;
+  // Sub unit (x - max) in 16-bit fixed point.
+  t += arith::ripple_adder(16) * lanes;
+  // Mul unit: full-precision 11x11 multipliers (the paper's cost driver).
+  t += arith::array_multiplier(11, 11) * lanes;
+  // Adder tree: lanes-1 adders at 24 bits.
+  t += arith::ripple_adder(24) * (lanes - 1);
+  // Div unit: two pipelined 24-bit array dividers (24 stages of CSA+mux).
+  t += (arith::ripple_adder(24) + arith::mux_bank(24)) * (2 * 24);
+  // Output encoder: LOD + normalise shifter per lane.
+  t += arith::leading_one_detector(16) * lanes;
+  t += arith::barrel_shifter(16, 16) * lanes;
+  // Stage buffers/registers (Fig. 6: a buffer per module).
+  t += arith::register_bank(16 * 6) * lanes;
+
+  // LUT file: 4 resident sub-tables x 128 entries x 16 bits, double
+  // buffered for segmented dynamic loading; plus 6 stage buffers.
+  const double sram_bytes = 2 * 4 * 128 * 2 + 6 * 512;
+
+  const PricedUnit p = price(t, sram_bytes, 1.0, 0.5);
+  NlUnitCost c;
+  c.name = "Ours (BBAL)";
+  c.num_format = "BBFP(10,5,5)";
+  c.lanes = lanes;
+  c.pipelined = true;
+  c.supports_silu = true;
+  c.area_mm2 = p.area_um2 * 1e-6 * kBbalOverhead;
+  c.power_w = p.power_w * kBbalOverhead;
+  // Adder-tree + divider + encode latency; LUT loads overlap the pipeline.
+  c.fixed_latency_cycles = std::ceil(std::log2(lanes)) + 24.0 + 6.0;
+  c.native_invocation_cycles = c.softmax_cycles(128);
+  c.sustained_elems_per_cycle = lanes;  // fully pipelined
+  return c;
+}
+
+NlUnitCost pseudo_softmax_cost() {
+  const int inputs = 10;
+  GateTally t;
+  // Per input: INT8 subtract, shift-based power-of-two, normalisation,
+  // plus FP16 -> INT8 conversion (multiplier + LOD) to serve LLM tensors.
+  t += arith::ripple_adder(8) * inputs;
+  t += arith::barrel_shifter(16, 16) * inputs;
+  t += arith::leading_one_detector(16) * inputs;
+  t += arith::array_multiplier(8, 8) * inputs;  // input conversion
+  t += arith::ripple_adder(16) * (inputs - 1);
+  t += arith::barrel_shifter(16, 16) * inputs;
+  t += arith::register_bank(16 * 2) * inputs;
+  // Staging buffers for vector decomposition (LLM-length inputs).
+  const double sram_bytes = 2 * 1024;
+
+  const PricedUnit p = price(t, sram_bytes, 1.0, 1.0);  // small + hot
+  NlUnitCost c;
+  c.name = "[32] pseudo-softmax";
+  c.num_format = "Int8";
+  c.lanes = inputs;
+  c.pipelined = false;
+  c.supports_silu = false;
+  c.area_mm2 = p.area_um2 * 1e-6 * kPseudoOverhead;
+  c.power_w = p.power_w * kPseudoOverhead;
+  // One native 10-input batch: the published unit's strength.
+  c.native_invocation_cycles = 20.0;
+  // LLM-length vectors need decomposition + hierarchical renormalisation:
+  // ~3 passes over each batch.
+  c.fixed_latency_cycles = 60.0;
+  c.sustained_elems_per_cycle = static_cast<double>(inputs) / 60.0;
+  return c;
+}
+
+NlUnitCost base2_softmax_cost() {
+  const int lanes = 8;
+  GateTally t;
+  // Per lane: 27-bit fixed-point multiplier + adders (base-2 decomposition).
+  t += arith::array_multiplier(27, 27) * lanes;
+  t += arith::ripple_adder(27) * (2 * lanes);
+  t += arith::barrel_shifter(27, 32) * lanes;
+  // Serial high-precision divider shared across lanes (27 iterations per
+  // element).
+  t += (arith::ripple_adder(27) + arith::mux_bank(27)) * 27;
+  t += arith::register_bank(27 * 4) * lanes;
+
+  const PricedUnit p = price(t, /*sram_bytes=*/0.0, 1.0, 0.5);
+  NlUnitCost c;
+  c.name = "[33] base-2 high-prec";
+  c.num_format = "Int27";
+  c.lanes = lanes;
+  c.pipelined = false;
+  c.supports_silu = false;
+  c.area_mm2 = p.area_um2 * 1e-6 * kBase2Overhead;
+  c.power_w = p.power_w * kBase2Overhead;
+  // 8-element batch: pipeline front end + 27 divider iterations/element.
+  c.fixed_latency_cycles = 35.0 + 27.0 * lanes;
+  c.native_invocation_cycles = c.fixed_latency_cycles;
+  c.sustained_elems_per_cycle =
+      static_cast<double>(lanes) / c.fixed_latency_cycles;
+  return c;
+}
+
+}  // namespace bbal::nl

@@ -1,0 +1,171 @@
+#include "quant/block.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/bitutils.hpp"
+#include "common/float_parts.hpp"
+
+namespace bbal::quant {
+namespace {
+
+/// Shift the p-bit mantissa by `net` positions (left if positive) and round
+/// according to `rounding`. Returns the unclipped result and, via
+/// `trunc_out`, the truncated (no-round) value used for overflow detection.
+std::uint64_t shift_and_round(std::uint64_t mantissa, int net,
+                              Rounding rounding, std::uint64_t& trunc_out) {
+  if (net >= 0) {
+    // Left shifts introduce no rounding. Mantissas are <= 2^24 and nets are
+    // bounded by the exponent spread we admit, so this cannot overflow u64.
+    assert(net < 40);
+    trunc_out = mantissa << net;
+    return trunc_out;
+  }
+  const int shift = -net;
+  trunc_out = shr_trunc(mantissa, shift);
+  return rounding == Rounding::kNearestEven ? shr_rne(mantissa, shift)
+                                            : trunc_out;
+}
+
+}  // namespace
+
+double EncodedBlock::step_low() const {
+  return std::ldexp(1.0, shared_exponent - format.mantissa_bits + 1);
+}
+
+double EncodedBlock::step_high() const {
+  return std::ldexp(step_low(), format.shift_distance());
+}
+
+double EncodedBlock::decode(std::size_t i) const {
+  assert(i < elems.size());
+  const BlockElement& e = elems[i];
+  const int lift = e.flag ? format.shift_distance() : 0;
+  const double mag =
+      std::ldexp(static_cast<double>(e.mantissa),
+                 shared_exponent - format.mantissa_bits + 1 + lift);
+  return e.negative ? -mag : mag;
+}
+
+void EncodedBlock::decode_all(std::span<double> out) const {
+  assert(out.size() == elems.size());
+  for (std::size_t i = 0; i < elems.size(); ++i) out[i] = decode(i);
+}
+
+std::vector<double> EncodedBlock::decode_all() const {
+  std::vector<double> out(elems.size());
+  decode_all(std::span<double>(out));
+  return out;
+}
+
+std::size_t EncodedBlock::flag_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(elems.begin(), elems.end(),
+                    [](const BlockElement& e) { return e.flag; }));
+}
+
+EncodedBlock encode_block(std::span<const double> values,
+                          const BlockFormat& fmt) {
+  assert(!values.empty());
+  fmt.validate();
+
+  EncodedBlock block;
+  block.format = fmt;
+  block.elems.resize(values.size());
+
+  const int p = fmt.source_precision;
+  const int m = fmt.mantissa_bits;
+  const int d = fmt.shift_distance();
+
+  // Pass 1: decompose at source precision; find the block max exponent.
+  std::vector<FloatParts> parts(values.size());
+  int max_e = kZeroBlockExponent;
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    parts[i] = decompose(values[i], p);
+    if (!parts[i].zero) {
+      any_nonzero = true;
+      max_e = std::max(max_e, parts[i].exponent);
+    }
+  }
+  if (!any_nonzero) {
+    block.shared_exponent = kZeroBlockExponent;
+    return block;  // all elements default to zero mantissas
+  }
+
+  // Shared exponent per Eq. (9) plus the configured strategy offset.
+  // For BFP, d == 0 and delta defaults to 0 => plain max alignment.
+  block.shared_exponent = max_e - d + fmt.strategy_delta;
+
+  const std::uint64_t cap = std::uint64_t{1} << m;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    BlockElement& elem = block.elems[i];
+    const FloatParts& part = parts[i];
+    elem.negative = part.negative;
+    if (part.zero) continue;
+
+    const int n = part.exponent - block.shared_exponent;
+    const bool flag = fmt.is_bbfp() && n > 0;
+    elem.flag = flag;
+    // Window bottom: bits below it are dropped. High group sits d bits up.
+    const int window_bottom = (p - m) + (flag ? d : 0);
+    const int net = n - window_bottom;
+
+    std::uint64_t trunc = 0;
+    std::uint64_t rounded =
+        shift_and_round(part.mantissa, net, fmt.rounding, trunc);
+
+    if (rounded >= cap) {
+      if (trunc < cap) {
+        // Pure rounding carry past the window top: hardware sticky-rounds.
+        rounded = cap - 1;
+      } else if (fmt.overflow == OverflowPolicy::kSaturate) {
+        rounded = cap - 1;
+      } else {
+        // Clip() semantics: bits above the stored window are lost.
+        rounded &= cap - 1;
+      }
+    }
+    elem.mantissa = static_cast<std::uint32_t>(rounded);
+  }
+  return block;
+}
+
+void quantise(std::span<const double> values, const BlockFormat& fmt,
+              std::span<double> out) {
+  assert(values.size() == out.size());
+  const std::size_t bs = static_cast<std::size_t>(fmt.block_size);
+  for (std::size_t start = 0; start < values.size(); start += bs) {
+    const std::size_t len = std::min(bs, values.size() - start);
+    const EncodedBlock block = encode_block(values.subspan(start, len), fmt);
+    block.decode_all(out.subspan(start, len));
+  }
+}
+
+std::vector<double> quantise(std::span<const double> values,
+                             const BlockFormat& fmt) {
+  std::vector<double> out(values.size());
+  quantise(values, fmt, std::span<double>(out));
+  return out;
+}
+
+void quantise(std::span<const float> values, const BlockFormat& fmt,
+              std::span<float> out) {
+  assert(values.size() == out.size());
+  const std::size_t bs = static_cast<std::size_t>(fmt.block_size);
+  std::vector<double> buf(bs);
+  std::vector<double> qbuf(bs);
+  for (std::size_t start = 0; start < values.size(); start += bs) {
+    const std::size_t len = std::min(bs, values.size() - start);
+    for (std::size_t i = 0; i < len; ++i)
+      buf[i] = static_cast<double>(values[start + i]);
+    const EncodedBlock block =
+        encode_block(std::span<const double>(buf.data(), len), fmt);
+    block.decode_all(std::span<double>(qbuf.data(), len));
+    for (std::size_t i = 0; i < len; ++i)
+      out[start + i] = static_cast<float>(qbuf[i]);
+  }
+}
+
+}  // namespace bbal::quant

@@ -1,0 +1,64 @@
+#include "quant/dot.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/bitutils.hpp"
+
+namespace bbal::quant {
+
+BlockDotResult dot_block(const EncodedBlock& a, const EncodedBlock& b) {
+  assert(a.elems.size() == b.elems.size());
+  BlockDotResult result;
+
+  const int da = a.format.shift_distance();
+  const int db = b.format.shift_distance();
+
+  for (std::size_t i = 0; i < a.elems.size(); ++i) {
+    const BlockElement& ea = a.elems[i];
+    const BlockElement& eb = b.elems[i];
+    if (ea.mantissa == 0 || eb.mantissa == 0) continue;
+    // Eq. (10): m1*m2 shifted by d per asserted flag; sign via XOR (Eq. 7).
+    const int lift = (ea.flag ? da : 0) + (eb.flag ? db : 0);
+    const std::uint64_t prod =
+        (static_cast<std::uint64_t>(ea.mantissa) * eb.mantissa) << lift;
+    result.max_product_bits =
+        std::max(result.max_product_bits, bit_width_of(prod));
+    const bool neg = ea.negative != eb.negative;
+    result.accumulator += neg ? -static_cast<std::int64_t>(prod)
+                              : static_cast<std::int64_t>(prod);
+  }
+
+  result.scale_exponent =
+      (a.shared_exponent - a.format.mantissa_bits + 1) +
+      (b.shared_exponent - b.format.mantissa_bits + 1);
+  result.value =
+      std::ldexp(static_cast<double>(result.accumulator), result.scale_exponent);
+  return result;
+}
+
+double dot_block_reference(const EncodedBlock& a, const EncodedBlock& b) {
+  assert(a.elems.size() == b.elems.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.elems.size(); ++i)
+    acc += a.decode(i) * b.decode(i);
+  return acc;
+}
+
+double quantised_dot(std::span<const double> a, const BlockFormat& fmt_a,
+                     std::span<const double> b, const BlockFormat& fmt_b) {
+  assert(a.size() == b.size());
+  assert(fmt_a.block_size == fmt_b.block_size);
+  const std::size_t bs = static_cast<std::size_t>(fmt_a.block_size);
+  double acc = 0.0;  // FP accumulator across blocks (paper's FP adder)
+  for (std::size_t start = 0; start < a.size(); start += bs) {
+    const std::size_t len = std::min(bs, a.size() - start);
+    const EncodedBlock ba = encode_block(a.subspan(start, len), fmt_a);
+    const EncodedBlock bb = encode_block(b.subspan(start, len), fmt_b);
+    acc += dot_block(ba, bb).value;
+  }
+  return acc;
+}
+
+}  // namespace bbal::quant

@@ -1,0 +1,41 @@
+// Bit-exact block dot products — the datapath of Eq. (7)/(10).
+//
+// The accelerator multiplies mantissas with an m-bit integer multiplier,
+// lifts the product by d * (flag1 + flag2) positions and accumulates signed
+// integers; the shared exponents add once per block. This module implements
+// exactly that, and is unit-tested to match the dequantise-then-multiply
+// reference to the last bit.
+#pragma once
+
+#include <cstdint>
+
+#include "quant/block.hpp"
+
+namespace bbal::quant {
+
+/// Result of one block dot product in the integer domain.
+struct BlockDotResult {
+  std::int64_t accumulator = 0;  ///< signed sum of lifted mantissa products
+  int scale_exponent = 0;        ///< value = accumulator * 2^scale_exponent
+  double value = 0.0;            ///< accumulator scaled back to a real
+  int max_product_bits = 0;      ///< widest lifted product seen (HW sizing)
+};
+
+/// Dot product of two equally-sized encoded blocks (formats may differ in
+/// (m,o) but must agree in length).
+[[nodiscard]] BlockDotResult dot_block(const EncodedBlock& a,
+                                       const EncodedBlock& b);
+
+/// Reference dot product on decoded values (used for verification).
+[[nodiscard]] double dot_block_reference(const EncodedBlock& a,
+                                         const EncodedBlock& b);
+
+/// Full quantised dot product of two real vectors: encode both sides in
+/// consecutive blocks of fmt_a/fmt_b.block_size and sum the block dots in
+/// double (the accelerator's FP accumulator). Lengths must match.
+[[nodiscard]] double quantised_dot(std::span<const double> a,
+                                   const BlockFormat& fmt_a,
+                                   std::span<const double> b,
+                                   const BlockFormat& fmt_b);
+
+}  // namespace bbal::quant

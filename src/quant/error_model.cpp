@@ -1,0 +1,75 @@
+#include "quant/error_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "quant/block.hpp"
+
+namespace bbal::quant {
+
+ErrorReport analyse_error(std::span<const double> data,
+                          const BlockFormat& fmt) {
+  assert(!data.empty());
+  ErrorReport report;
+
+  const std::size_t bs = static_cast<std::size_t>(fmt.block_size);
+  std::size_t block_count = 0;
+  std::size_t flag_total = 0;
+  double mse_acc = 0.0;
+
+  std::map<int, std::size_t> exp_counts;
+  for (std::size_t start = 0; start < data.size(); start += bs) {
+    const std::size_t len = std::min(bs, data.size() - start);
+    const EncodedBlock block = encode_block(data.subspan(start, len), fmt);
+    ++block_count;
+    exp_counts[block.shared_exponent] += 1;
+    flag_total += block.flag_count();
+    for (std::size_t i = 0; i < len; ++i) {
+      const double d = data[start + i] - block.decode(i);
+      mse_acc += d * d;
+    }
+  }
+
+  report.empirical_mse = mse_acc / static_cast<double>(data.size());
+  report.flag_fraction =
+      static_cast<double>(flag_total) / static_cast<double>(data.size());
+
+  // Shared-exponent PMF and Eq. (8). The low-group step for shared exponent
+  // E is 2^(E - m + 1); a uniform rounding error in [-step/2, step/2] has
+  // variance step^2 / 12.
+  double predicted = 0.0;
+  double predicted_flag_aware = 0.0;
+  const int m = fmt.mantissa_bits;
+  const int d = fmt.shift_distance();
+  for (const auto& [exp, count] : exp_counts) {
+    const double p =
+        static_cast<double>(count) / static_cast<double>(block_count);
+    report.shared_exponent_pmf[exp] = p;
+    const double step_low = std::ldexp(1.0, exp - m + 1);
+    const double var_low = step_low * step_low / 12.0;
+    predicted += p * var_low;
+    const double step_high = std::ldexp(step_low, d);
+    const double var_high = step_high * step_high / 12.0;
+    predicted_flag_aware +=
+        p * ((1.0 - report.flag_fraction) * var_low +
+             report.flag_fraction * var_high);
+  }
+  report.predicted_variance = predicted;
+  report.predicted_variance_flag_aware = predicted_flag_aware;
+  return report;
+}
+
+double empirical_mse(std::span<const double> data, const BlockFormat& fmt) {
+  assert(!data.empty());
+  const std::vector<double> q = quantise(data, fmt);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double diff = data[i] - q[i];
+    acc += diff * diff;
+  }
+  return acc / static_cast<double>(data.size());
+}
+
+}  // namespace bbal::quant

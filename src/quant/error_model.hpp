@@ -1,0 +1,41 @@
+// Quantisation error analysis (Section III.B, Eq. 8).
+//
+// The paper's key analytical point: with round-to-nearest, block floating
+// point error variance is sigma^2 = 2^-2Lm / 12 * sum_i p(gamma_i) 2^(2 gamma_i)
+// — entirely driven by the PMF of the shared exponent. BBFP lowers the
+// selected exponent by (m - o), shifting that PMF down and shrinking the
+// variance for everything that stays in the low group.
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "quant/format.hpp"
+
+namespace bbal::quant {
+
+/// Analytical + empirical error report for one data set under one format.
+struct ErrorReport {
+  /// Eq. (8): variance predicted from the shared-exponent PMF alone
+  /// (all elements assumed to quantise at the low-group step).
+  double predicted_variance = 0.0;
+  /// Refined prediction: accounts for the measured fraction of flagged
+  /// elements quantising at the coarser high-group step.
+  double predicted_variance_flag_aware = 0.0;
+  /// Measured mean squared error of the encode/decode round trip.
+  double empirical_mse = 0.0;
+  /// Fraction of elements carrying flag = 1 (BBFP only).
+  double flag_fraction = 0.0;
+  /// PMF of the selected shared exponent across blocks.
+  std::map<int, double> shared_exponent_pmf;
+};
+
+/// Quantise `data` block-by-block under `fmt` and report the error model.
+[[nodiscard]] ErrorReport analyse_error(std::span<const double> data,
+                                        const BlockFormat& fmt);
+
+/// Just the empirical MSE (cheaper when the PMF is not needed).
+[[nodiscard]] double empirical_mse(std::span<const double> data,
+                                   const BlockFormat& fmt);
+
+}  // namespace bbal::quant

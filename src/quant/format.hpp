@@ -1,0 +1,109 @@
+// Block floating point format descriptors (BFP-m and BBFP(m,o)).
+//
+// One descriptor drives the whole library: encoders, bit-exact dot products,
+// gate-level cost models and memory accounting all consume a BlockFormat.
+#pragma once
+
+#include <cassert>
+#include <string>
+
+namespace bbal::quant {
+
+/// Mantissa rounding applied when bits fall off the bottom of the window.
+enum class Rounding { kNearestEven, kTruncate };
+
+/// What happens when the shifted leading one falls above the stored window
+/// (possible for aggressive shared-exponent strategies, see Fig. 3 "Max-3").
+enum class OverflowPolicy {
+  kClipBits,  // hardware Clip() semantics: bits above the window are lost
+  kSaturate,  // clamp to the maximum representable mantissa
+};
+
+/// A block floating point format: classic BFP or the paper's BBFP(m,o).
+struct BlockFormat {
+  enum class Kind { kBfp, kBbfp };
+
+  Kind kind = Kind::kBfp;
+  int mantissa_bits = 4;   ///< m: stored mantissa width (sign excluded)
+  int overlap_bits = 0;    ///< o: window overlap, BBFP only (0 <= o < m)
+  int exponent_bits = 5;   ///< shared exponent field width (paper fixes 5)
+  int block_size = 32;     ///< elements sharing one exponent
+  int source_precision = 11;  ///< p: input mantissa width (FP16 -> 11)
+  Rounding rounding = Rounding::kNearestEven;
+  OverflowPolicy overflow = OverflowPolicy::kClipBits;
+  /// Shared exponent is E_s = max(e) - shift_distance() + strategy_delta.
+  /// 0 reproduces Eq. (9); -1 is the paper's "Max-3" for BBFP(4,2);
+  /// +1 its "Max-1"; +shift_distance() degenerates to plain max alignment.
+  int strategy_delta = 0;
+
+  [[nodiscard]] static BlockFormat bfp(int m, int block = 32) {
+    BlockFormat f;
+    f.kind = Kind::kBfp;
+    f.mantissa_bits = m;
+    f.overlap_bits = 0;
+    f.block_size = block;
+    f.validate();
+    return f;
+  }
+
+  [[nodiscard]] static BlockFormat bbfp(int m, int o, int block = 32) {
+    BlockFormat f;
+    f.kind = Kind::kBbfp;
+    f.mantissa_bits = m;
+    f.overlap_bits = o;
+    f.block_size = block;
+    f.validate();
+    return f;
+  }
+
+  void validate() const {
+    assert(mantissa_bits >= 2 && mantissa_bits <= 24);
+    assert(block_size >= 1);
+    assert(exponent_bits >= 1 && exponent_bits <= 8);
+    assert(source_precision >= mantissa_bits || kind == Kind::kBbfp ||
+           source_precision >= 2);
+    if (kind == Kind::kBbfp)
+      assert(overlap_bits >= 0 && overlap_bits < mantissa_bits);
+  }
+
+  /// d = m - o: how far the shared exponent sits below the block maximum,
+  /// and the left-shift applied to flagged (high-group) mantissas. 0 for BFP.
+  [[nodiscard]] int shift_distance() const {
+    return kind == Kind::kBbfp ? mantissa_bits - overlap_bits : 0;
+  }
+
+  [[nodiscard]] bool is_bbfp() const { return kind == Kind::kBbfp; }
+
+  /// Bits per element including amortised shared exponent (Table I):
+  /// BFP-m: m + sign + e/block. BBFP(m,o): one extra flag bit.
+  [[nodiscard]] double equivalent_bits() const {
+    const double shared =
+        static_cast<double>(exponent_bits) / static_cast<double>(block_size);
+    const double flag = is_bbfp() ? 1.0 : 0.0;
+    return static_cast<double>(mantissa_bits) + 1.0 + flag + shared;
+  }
+
+  /// Memory efficiency relative to FP16 (Table I's "Mem Eff." column).
+  [[nodiscard]] double memory_efficiency() const {
+    return 16.0 / equivalent_bits();
+  }
+
+  [[nodiscard]] std::string name() const {
+    if (is_bbfp())
+      return "BBFP(" + std::to_string(mantissa_bits) + "," +
+             std::to_string(overlap_bits) + ")";
+    return "BFP" + std::to_string(mantissa_bits);
+  }
+
+  /// Same format with a different shared-exponent strategy.
+  [[nodiscard]] BlockFormat with_delta(int delta) const {
+    BlockFormat f = *this;
+    f.strategy_delta = delta;
+    return f;
+  }
+};
+
+/// Shared exponent assigned to blocks that contain only zeros.
+inline constexpr int kZeroBlockExponent = -120;
+
+}  // namespace bbal::quant

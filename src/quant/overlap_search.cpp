@@ -1,0 +1,40 @@
+#include "quant/overlap_search.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bbal::quant {
+
+OverlapSearchResult select_overlap_width(
+    int mantissa_bits, double overhead_weight,
+    const std::function<double(int)>& ppl_of_overlap,
+    const std::function<double(int)>& overhead_of_overlap) {
+  assert(mantissa_bits >= 2);
+  assert(overhead_weight >= 0.0 && overhead_weight <= 1.0);
+
+  OverlapSearchResult result;
+  for (int o = 0; o < mantissa_bits; ++o) {
+    result.ppl.push_back(ppl_of_overlap(o));
+    result.overhead.push_back(overhead_of_overlap(o));
+  }
+
+  const double ppl_max = *std::max_element(result.ppl.begin(), result.ppl.end());
+  const double ovh_max =
+      *std::max_element(result.overhead.begin(), result.overhead.end());
+  assert(ppl_max > 0.0 && ovh_max > 0.0);
+
+  double best = 0.0;
+  for (int o = 0; o < mantissa_bits; ++o) {
+    const double score =
+        overhead_weight * (result.overhead[static_cast<std::size_t>(o)] / ovh_max) +
+        (1.0 - overhead_weight) * (result.ppl[static_cast<std::size_t>(o)] / ppl_max);
+    result.score.push_back(score);
+    if (o == 0 || score < best) {
+      best = score;
+      result.best_overlap = o;
+    }
+  }
+  return result;
+}
+
+}  // namespace bbal::quant

@@ -1,0 +1,27 @@
+// Algorithm 1: selection of the overlap bit width.
+//
+// score[o] = w * Overhead_norm[o] + (1 - w) * PPL_norm[o], minimised over
+// o in [0, m). The PPL and overhead oracles are callbacks so the same search
+// runs against the real LLM harness (bench_fig4) and against synthetic
+// oracles in unit tests.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace bbal::quant {
+
+struct OverlapSearchResult {
+  int best_overlap = 0;
+  std::vector<double> ppl;        ///< raw PPL per overlap width
+  std::vector<double> overhead;   ///< raw hardware overhead per overlap width
+  std::vector<double> score;      ///< normalised weighted score per width
+};
+
+/// Algorithm 1. `overhead_weight` is the paper's w in [0, 1]; m >= 2.
+[[nodiscard]] OverlapSearchResult select_overlap_width(
+    int mantissa_bits, double overhead_weight,
+    const std::function<double(int)>& ppl_of_overlap,
+    const std::function<double(int)>& overhead_of_overlap);
+
+}  // namespace bbal::quant

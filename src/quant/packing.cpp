@@ -1,0 +1,158 @@
+#include "quant/packing.hpp"
+
+#include <cassert>
+
+#include "common/bitutils.hpp"
+
+namespace bbal::quant {
+namespace {
+
+/// Little-endian bit writer.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  void put(std::uint64_t value, int bits) {
+    assert(bits >= 0 && bits <= 64);
+    assert(bits == 64 || value <= low_mask(bits));
+    for (int i = 0; i < bits; ++i) {
+      const std::size_t byte = pos_ >> 3;
+      if (byte >= bytes_.size()) bytes_.push_back(0);
+      if (bit_at(value, i))
+        bytes_[byte] = static_cast<std::uint8_t>(bytes_[byte] |
+                                                 (1u << (pos_ & 7)));
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] std::size_t bit_position() const { return pos_; }
+
+ private:
+  std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Little-endian bit reader.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint64_t get(int bits) {
+    assert(bits >= 0 && bits <= 64);
+    std::uint64_t value = 0;
+    for (int i = 0; i < bits; ++i) {
+      const std::size_t byte = pos_ >> 3;
+      assert(byte < bytes_.size());
+      if ((bytes_[byte] >> (pos_ & 7)) & 1u)
+        value |= std::uint64_t{1} << i;
+      ++pos_;
+    }
+    return value;
+  }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Shared exponents are stored biased into the format's exponent field;
+/// kZeroBlockExponent maps to the all-zero code.
+constexpr int kExponentBias = 15;
+
+std::uint64_t encode_exponent(int shared_exponent, int exponent_bits) {
+  if (shared_exponent == kZeroBlockExponent) return 0;
+  const std::int64_t biased = shared_exponent + kExponentBias + 1;
+  assert(biased > 0 && biased <= static_cast<std::int64_t>(
+                                     low_mask(exponent_bits)));
+  return static_cast<std::uint64_t>(biased);
+}
+
+int decode_exponent(std::uint64_t field) {
+  if (field == 0) return kZeroBlockExponent;
+  return static_cast<int>(field) - kExponentBias - 1;
+}
+
+}  // namespace
+
+std::size_t PackedBlocks::bit_count() const { return bytes.size() * 8; }
+
+double PackedBlocks::bits_per_element() const {
+  if (element_count == 0) return 0.0;
+  // Count the exact written bits, not byte padding.
+  const double per_block_overhead = format.exponent_bits;
+  const double per_elem =
+      1.0 + (format.is_bbfp() ? 1.0 : 0.0) + format.mantissa_bits;
+  const std::size_t blocks =
+      (element_count + static_cast<std::size_t>(format.block_size) - 1) /
+      static_cast<std::size_t>(format.block_size);
+  return (per_elem * static_cast<double>(element_count) +
+          per_block_overhead * static_cast<double>(blocks)) /
+         static_cast<double>(element_count);
+}
+
+PackedBlocks pack_blocks(const std::vector<EncodedBlock>& blocks) {
+  assert(!blocks.empty());
+  PackedBlocks packed;
+  packed.format = blocks.front().format;
+  BitWriter writer(packed.bytes);
+  for (const EncodedBlock& block : blocks) {
+    assert(block.format.name() == packed.format.name());
+    writer.put(encode_exponent(block.shared_exponent,
+                               packed.format.exponent_bits),
+               packed.format.exponent_bits);
+    for (const BlockElement& e : block.elems) {
+      writer.put(e.negative ? 1 : 0, 1);
+      if (packed.format.is_bbfp()) writer.put(e.flag ? 1 : 0, 1);
+      writer.put(e.mantissa, packed.format.mantissa_bits);
+      ++packed.element_count;
+    }
+  }
+  return packed;
+}
+
+std::vector<EncodedBlock> unpack_blocks(const PackedBlocks& packed) {
+  std::vector<EncodedBlock> blocks;
+  BitReader reader(packed.bytes);
+  std::size_t remaining = packed.element_count;
+  while (remaining > 0) {
+    const std::size_t len = std::min(
+        remaining, static_cast<std::size_t>(packed.format.block_size));
+    EncodedBlock block;
+    block.format = packed.format;
+    block.shared_exponent = decode_exponent(
+        reader.get(packed.format.exponent_bits));
+    block.elems.resize(len);
+    for (BlockElement& e : block.elems) {
+      e.negative = reader.get(1) != 0;
+      if (packed.format.is_bbfp()) e.flag = reader.get(1) != 0;
+      e.mantissa = static_cast<std::uint32_t>(
+          reader.get(packed.format.mantissa_bits));
+    }
+    blocks.push_back(std::move(block));
+    remaining -= len;
+  }
+  return blocks;
+}
+
+PackedBlocks pack_values(std::span<const double> values,
+                         const BlockFormat& fmt) {
+  std::vector<EncodedBlock> blocks;
+  const std::size_t bs = static_cast<std::size_t>(fmt.block_size);
+  for (std::size_t start = 0; start < values.size(); start += bs) {
+    const std::size_t len = std::min(bs, values.size() - start);
+    blocks.push_back(encode_block(values.subspan(start, len), fmt));
+  }
+  return pack_blocks(blocks);
+}
+
+std::vector<double> unpack_values(const PackedBlocks& packed) {
+  std::vector<double> out;
+  out.reserve(packed.element_count);
+  for (const EncodedBlock& block : unpack_blocks(packed))
+    for (std::size_t i = 0; i < block.elems.size(); ++i)
+      out.push_back(block.decode(i));
+  return out;
+}
+
+}  // namespace bbal::quant

@@ -1,0 +1,84 @@
+#include "common/bitutils.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bbal {
+namespace {
+
+TEST(BitUtils, LowMaskBasics) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(4), 0xFu);
+  EXPECT_EQ(low_mask(63), 0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(BitUtils, MsbIndex) {
+  EXPECT_EQ(msb_index(0), -1);
+  EXPECT_EQ(msb_index(1), 0);
+  EXPECT_EQ(msb_index(2), 1);
+  EXPECT_EQ(msb_index(3), 1);
+  EXPECT_EQ(msb_index(0x8000000000000000ull), 63);
+}
+
+TEST(BitUtils, BitWidth) {
+  EXPECT_EQ(bit_width_of(0), 0);
+  EXPECT_EQ(bit_width_of(1), 1);
+  EXPECT_EQ(bit_width_of(255), 8);
+  EXPECT_EQ(bit_width_of(256), 9);
+}
+
+TEST(BitUtils, BitField) {
+  EXPECT_EQ(bit_field(0b1101'1010, 7, 4), 0b1101u);
+  EXPECT_EQ(bit_field(0b1101'1010, 3, 0), 0b1010u);
+  EXPECT_EQ(bit_field(0xFFull << 32, 39, 32), 0xFFu);
+}
+
+TEST(BitUtils, ShrTruncLargeShifts) {
+  EXPECT_EQ(shr_trunc(0xFFFF, 4), 0xFFFu);
+  EXPECT_EQ(shr_trunc(0xFFFF, 64), 0u);
+  EXPECT_EQ(shr_trunc(0xFFFF, 100), 0u);
+}
+
+TEST(BitUtils, ShrRneRoundsHalfToEven) {
+  // 0b101 >> 1: dropped bit = 1 (tie), kept = 0b10 (even) -> stays 2.
+  EXPECT_EQ(shr_rne(0b101, 1), 2u);
+  // 0b111 >> 1: dropped 1 (tie), kept 0b11 (odd) -> rounds to 4.
+  EXPECT_EQ(shr_rne(0b111, 1), 4u);
+  // 0b1011 >> 2: dropped 0b11 > half -> 3.
+  EXPECT_EQ(shr_rne(0b1011, 2), 3u);
+  // 0b1001 >> 2: dropped 0b01 < half -> 2.
+  EXPECT_EQ(shr_rne(0b1001, 2), 2u);
+  EXPECT_EQ(shr_rne(123, 0), 123u);
+  EXPECT_EQ(shr_rne(0xFFFFFFFF, 64), 0u);
+}
+
+TEST(BitUtils, ShrRneMatchesRealRounding) {
+  // Cross-check against double rounding for a sweep of values/shifts.
+  for (std::uint64_t v = 0; v < 4096; v += 7) {
+    for (int s = 1; s < 10; ++s) {
+      const double exact = static_cast<double>(v) / static_cast<double>(1u << s);
+      const double expected = std::nearbyint(exact);
+      EXPECT_EQ(static_cast<double>(shr_rne(v, s)), expected)
+          << "v=" << v << " s=" << s;
+    }
+  }
+}
+
+TEST(BitUtils, FitsUnsigned) {
+  EXPECT_TRUE(fits_unsigned(15, 4));
+  EXPECT_FALSE(fits_unsigned(16, 4));
+  EXPECT_TRUE(fits_unsigned(0, 0));
+}
+
+TEST(BitUtils, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+}
+
+}  // namespace
+}  // namespace bbal

@@ -1,0 +1,82 @@
+// Activation capture plumbing and the strategy registry.
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "llm/capture.hpp"
+
+namespace bbal {
+namespace {
+
+TEST(LayerKinds, TagMapping) {
+  using llm::layer_kind_of_tag;
+  EXPECT_EQ(layer_kind_of_tag("layer0.wq"), "Query");
+  EXPECT_EQ(layer_kind_of_tag("layer3.wk"), "Key");
+  EXPECT_EQ(layer_kind_of_tag("layer1.wv"), "Value");
+  EXPECT_EQ(layer_kind_of_tag("layer2.wo"), "Proj");
+  EXPECT_EQ(layer_kind_of_tag("layer0.gate"), "FC1");
+  EXPECT_EQ(layer_kind_of_tag("layer0.up"), "FC1");
+  EXPECT_EQ(layer_kind_of_tag("layer0.down"), "FC2");
+  EXPECT_EQ(layer_kind_of_tag("lm_head"), "Head");
+}
+
+TEST(Capture, CollectsAllLayerKinds) {
+  llm::ModelConfig cfg;
+  cfg.name = "capture-test";
+  cfg.vocab = 64;
+  cfg.d_model = 32;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 48;
+  cfg.seed = 9;
+  const llm::CaptureResult result = llm::capture_layer_data(cfg, 48);
+  for (const char* kind : {"Query", "Key", "Value", "Proj", "FC1", "FC2"}) {
+    ASSERT_TRUE(result.activations.count(kind)) << kind;
+    EXPECT_FALSE(result.activations.at(kind).empty()) << kind;
+    ASSERT_TRUE(result.weights.count(kind)) << kind;
+  }
+  // The LM head is excluded from layer statistics.
+  EXPECT_FALSE(result.activations.count("Head"));
+  // FC1 pools gate+up: twice the weight volume of FC2.
+  EXPECT_GT(result.weights.at("FC1").size(), result.weights.at("FC2").size());
+}
+
+TEST(Registry, ResolvesEveryTableTwoStrategy) {
+  for (const std::string& name : baselines::table2_strategies()) {
+    EXPECT_TRUE(baselines::is_known_strategy(name)) << name;
+    const auto backend = baselines::make_matmul_backend(name);
+    ASSERT_NE(backend, nullptr) << name;
+  }
+}
+
+TEST(Registry, BackendsCarryExpectedNames) {
+  EXPECT_EQ(baselines::make_matmul_backend("BBFP(4,2)")->name(), "BBFP(4,2)");
+  EXPECT_EQ(baselines::make_matmul_backend("BFP6")->name(), "BFP6");
+  EXPECT_EQ(baselines::make_matmul_backend("Oltron")->name(), "Oltron");
+  EXPECT_EQ(baselines::make_matmul_backend("INT8")->name(), "INT8");
+  EXPECT_EQ(baselines::make_matmul_backend("FP32")->name(), "FP32");
+}
+
+TEST(Registry, RejectsUnknownNames) {
+  EXPECT_FALSE(baselines::is_known_strategy("FP4-EXOTIC"));
+  EXPECT_FALSE(baselines::is_known_strategy(""));
+}
+
+TEST(Registry, RegisteredBackendActuallyQuantises) {
+  const auto backend = baselines::make_matmul_backend("BFP4");
+  llm::Matrix w(32, 2);
+  for (int k = 0; k < 32; ++k) {
+    w.at(k, 0) = 0.337f;  // not representable at 4 bits
+    w.at(k, 1) = 1.0f;
+  }
+  const int h = backend->prepare_weights(w, "w");
+  llm::Matrix a(1, 32);
+  for (int k = 0; k < 32; ++k) a.at(0, k) = 1.0f;
+  llm::Matrix out;
+  backend->matmul(a, h, out);
+  // Column 0 must show quantisation error; column 1 is exact.
+  EXPECT_NE(out.at(0, 0), 0.337f * 32.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 32.0f);
+}
+
+}  // namespace
+}  // namespace bbal

@@ -1,0 +1,161 @@
+// The integer datapath of Eq. (7)/(10) must match the dequantise-then-
+// multiply reference bit for bit.
+#include "quant/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace bbal::quant {
+namespace {
+
+std::vector<double> random_vector(Rng& rng, std::size_t n, double outlier_rate) {
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.heavy_tailed(1.0, outlier_rate, 25.0);
+  return xs;
+}
+
+TEST(BlockDot, SimpleHandComputedCase) {
+  // Block of exact powers of two in BBFP(4,2).
+  const std::vector<double> a = {4.0, 1.0};
+  const std::vector<double> b = {2.0, 0.5};
+  const BlockFormat fmt = BlockFormat::bbfp(4, 2, 2);
+  const EncodedBlock ea = encode_block(a, fmt);
+  const EncodedBlock eb = encode_block(b, fmt);
+  const BlockDotResult r = dot_block(ea, eb);
+  EXPECT_DOUBLE_EQ(r.value, 4.0 * 2.0 + 1.0 * 0.5);
+}
+
+TEST(BlockDot, SignsViaXor) {
+  const std::vector<double> a = {2.0, -2.0, 2.0, -2.0};
+  const std::vector<double> b = {1.0, 1.0, -1.0, -1.0};
+  const BlockFormat fmt = BlockFormat::bbfp(4, 2, 4);
+  const BlockDotResult r =
+      dot_block(encode_block(a, fmt), encode_block(b, fmt));
+  EXPECT_DOUBLE_EQ(r.value, 2.0 - 2.0 - 2.0 + 2.0);
+}
+
+TEST(BlockDot, IntegerPathMatchesReferenceExactly) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_vector(rng, 32, 0.05);
+    const auto b = random_vector(rng, 32, 0.05);
+    const BlockFormat fmt = BlockFormat::bbfp(4, 2);
+    const EncodedBlock ea = encode_block(a, fmt);
+    const EncodedBlock eb = encode_block(b, fmt);
+    const BlockDotResult r = dot_block(ea, eb);
+    const double ref = dot_block_reference(ea, eb);
+    EXPECT_DOUBLE_EQ(r.value, ref) << "trial " << trial;
+  }
+}
+
+TEST(BlockDot, MixedFormatsOnTheTwoSides) {
+  // Activations BBFP(4,2) against weights BBFP(6,3) — allowed by Eq. (7).
+  Rng rng(78);
+  const auto a = random_vector(rng, 32, 0.05);
+  const auto b = random_vector(rng, 32, 0.05);
+  const EncodedBlock ea = encode_block(a, BlockFormat::bbfp(4, 2));
+  const EncodedBlock eb = encode_block(b, BlockFormat::bbfp(6, 3));
+  const BlockDotResult r = dot_block(ea, eb);
+  EXPECT_DOUBLE_EQ(r.value, dot_block_reference(ea, eb));
+}
+
+TEST(BlockDot, BfpBlocksAlsoExact) {
+  Rng rng(79);
+  const auto a = random_vector(rng, 32, 0.05);
+  const auto b = random_vector(rng, 32, 0.05);
+  const EncodedBlock ea = encode_block(a, BlockFormat::bfp(6));
+  const EncodedBlock eb = encode_block(b, BlockFormat::bfp(6));
+  const BlockDotResult r = dot_block(ea, eb);
+  EXPECT_DOUBLE_EQ(r.value, dot_block_reference(ea, eb));
+}
+
+TEST(BlockDot, ProductBitWidthBoundedByFormat) {
+  // Paper Section IV.A: BBFP(4,2) products occupy at most 2m + 2(m-o) = 12
+  // bits — the sizing fact behind the sparse adder.
+  Rng rng(80);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = random_vector(rng, 32, 0.2);
+    const auto b = random_vector(rng, 32, 0.2);
+    const BlockFormat fmt = BlockFormat::bbfp(4, 2);
+    const BlockDotResult r =
+        dot_block(encode_block(a, fmt), encode_block(b, fmt));
+    EXPECT_LE(r.max_product_bits, 12);
+  }
+}
+
+TEST(BlockDot, ZeroBlocksYieldZero) {
+  const std::vector<double> zeros(32, 0.0);
+  const std::vector<double> ones(32, 1.0);
+  const BlockFormat fmt = BlockFormat::bbfp(4, 2);
+  const BlockDotResult r =
+      dot_block(encode_block(zeros, fmt), encode_block(ones, fmt));
+  EXPECT_EQ(r.accumulator, 0);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(QuantisedDot, ApproachesExactDotAsWidthGrows) {
+  Rng rng(81);
+  const auto a = random_vector(rng, 256, 0.05);
+  const auto b = random_vector(rng, 256, 0.05);
+  double exact = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) exact += a[i] * b[i];
+
+  double prev_err = 1e300;
+  for (const int m : {3, 4, 6, 8, 10}) {
+    const BlockFormat fmt = BlockFormat::bbfp(m, m / 2);
+    const double approx = quantised_dot(a, fmt, b, fmt);
+    const double err = std::fabs(approx - exact);
+    EXPECT_LE(err, prev_err * 1.5 + 1e-9) << "m=" << m;  // broadly decreasing
+    prev_err = err;
+  }
+  // At 10 bits the dot product is accurate to a fraction of a percent.
+  const BlockFormat wide = BlockFormat::bbfp(10, 5);
+  EXPECT_NEAR(quantised_dot(a, wide, b, wide), exact,
+              std::fabs(exact) * 0.01 + 0.5);
+}
+
+struct DotParam {
+  int m;
+  int o;
+  std::size_t n;
+};
+
+class QuantisedDotProperty : public ::testing::TestWithParam<DotParam> {};
+
+TEST_P(QuantisedDotProperty, IntegerAndReferenceAgreeOnEveryBlock) {
+  const auto [m, o, n] = GetParam();
+  Rng rng(8000 + static_cast<std::uint64_t>(m * 100 + o * 10) + n);
+  const auto a = random_vector(rng, n, 0.1);
+  const auto b = random_vector(rng, n, 0.1);
+  const BlockFormat fmt = BlockFormat::bbfp(m, o);
+  const std::size_t bs = static_cast<std::size_t>(fmt.block_size);
+  for (std::size_t start = 0; start < n; start += bs) {
+    const std::size_t len = std::min(bs, n - start);
+    const EncodedBlock ea =
+        encode_block(std::span<const double>(a).subspan(start, len), fmt);
+    const EncodedBlock eb =
+        encode_block(std::span<const double>(b).subspan(start, len), fmt);
+    const BlockDotResult r = dot_block(ea, eb);
+    EXPECT_DOUBLE_EQ(r.value, dot_block_reference(ea, eb));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantisedDotProperty,
+    ::testing::Values(DotParam{3, 1, 64}, DotParam{3, 2, 96},
+                      DotParam{4, 2, 128}, DotParam{4, 3, 64},
+                      DotParam{6, 3, 128}, DotParam{6, 4, 64},
+                      DotParam{6, 5, 64}, DotParam{8, 4, 96},
+                      DotParam{10, 5, 64}),
+    [](const ::testing::TestParamInfo<DotParam>& info) {
+      return "m" + std::to_string(info.param.m) + "o" +
+             std::to_string(info.param.o) + "n" +
+             std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace bbal::quant

@@ -1,0 +1,56 @@
+// Encoder block cost models (Fig. 7 periphery).
+#include "accel/encoders.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bbal::accel {
+namespace {
+
+const hw::CellLibrary& lib() { return hw::CellLibrary::tsmc28(); }
+
+TEST(Encoders, InputEncoderScalesWithLanes) {
+  const auto fmt = quant::BlockFormat::bbfp(4, 2);
+  const double a16 = input_encoder(fmt, 16).area_um2(lib());
+  const double a32 = input_encoder(fmt, 32).area_um2(lib());
+  EXPECT_GT(a32, a16 * 1.5);
+  EXPECT_LT(a32, a16 * 2.5);
+}
+
+TEST(Encoders, WiderMantissaCostsMore) {
+  const double narrow =
+      input_encoder(quant::BlockFormat::bbfp(4, 2)).area_um2(lib());
+  const double wide =
+      input_encoder(quant::BlockFormat::bbfp(10, 5)).area_um2(lib());
+  EXPECT_GT(wide, narrow);
+}
+
+TEST(Encoders, FpEncoderScalesWithPsumWidth) {
+  const double bfp4 =
+      fp_encoder(quant::BlockFormat::bfp(4), 16).area_um2(lib());
+  const double bbfp63 =
+      fp_encoder(quant::BlockFormat::bbfp(6, 3), 16).area_um2(lib());
+  EXPECT_GT(bbfp63, bfp4);  // 18-bit field vs 8-bit products
+}
+
+TEST(Encoders, PeripheryIsSmallVersusArray) {
+  // Sanity: the Fig. 7 periphery must not dwarf a 16x16 PE array.
+  const auto fmt = quant::BlockFormat::bbfp(4, 2);
+  const double periphery = encoder_area_um2(fmt, 16);
+  const double array = hw::bbfp_pe(fmt).area_um2(lib()) * 256;
+  EXPECT_LT(periphery, array);
+  EXPECT_GT(periphery, 0.0);
+}
+
+TEST(Encoders, OutputEncoderMatchesInputStructure) {
+  const auto fmt = quant::BlockFormat::bbfp(6, 3);
+  EXPECT_NEAR(output_encoder(fmt).area_um2(lib()),
+              input_encoder(fmt).area_um2(lib()), 1e-9);
+}
+
+TEST(Encoders, FpAdderMaxPositive) {
+  EXPECT_GT(fp_adder_and_max(16).area_um2(lib()), 0.0);
+  EXPECT_GT(fp_adder_and_max(16).mac_energy_fj(lib()), 0.0);
+}
+
+}  // namespace
+}  // namespace bbal::accel

@@ -1,0 +1,98 @@
+// Eq. (8) error analysis: the shared-exponent PMF drives the variance, and
+// BBFP's lowered exponent shifts it down.
+#include "quant/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "quant/block.hpp"
+
+namespace bbal::quant {
+namespace {
+
+std::vector<double> gaussian_data(std::uint64_t seed, std::size_t n,
+                                  double stddev) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.gaussian(0.0, stddev);
+  return xs;
+}
+
+TEST(ErrorModel, PmfSumsToOne) {
+  const auto data = gaussian_data(1, 4096, 1.0);
+  const ErrorReport report = analyse_error(data, BlockFormat::bbfp(4, 2));
+  double sum = 0.0;
+  for (const auto& [e, p] : report.shared_exponent_pmf) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ErrorModel, BbfpPmfSitsBelowBfpPmf) {
+  // Eq. (9): E_s(BBFP) = E_s(BFP) - (m - o) for identical data.
+  const auto data = gaussian_data(2, 4096, 1.0);
+  const ErrorReport bbfp = analyse_error(data, BlockFormat::bbfp(4, 2));
+  const ErrorReport bfp = analyse_error(data, BlockFormat::bfp(4));
+  double mean_bbfp = 0.0;
+  double mean_bfp = 0.0;
+  for (const auto& [e, p] : bbfp.shared_exponent_pmf) mean_bbfp += e * p;
+  for (const auto& [e, p] : bfp.shared_exponent_pmf) mean_bfp += e * p;
+  EXPECT_NEAR(mean_bfp - mean_bbfp, 2.0, 1e-9);  // exactly m - o
+}
+
+TEST(ErrorModel, PredictedVarianceTracksEmpiricalForBfp) {
+  // For BFP (everything in the low group) Eq. (8) should be within ~3x of
+  // the measured MSE on Gaussian data (distribution effects account for
+  // the remainder — mantissa bins are not uniformly filled).
+  const auto data = gaussian_data(3, 16384, 1.0);
+  const ErrorReport report = analyse_error(data, BlockFormat::bfp(6));
+  EXPECT_GT(report.predicted_variance, report.empirical_mse / 3.0);
+  EXPECT_LT(report.predicted_variance, report.empirical_mse * 3.0);
+}
+
+TEST(ErrorModel, FlagAwarePredictionAtLeastPlainPrediction) {
+  const auto data = gaussian_data(4, 8192, 1.0);
+  const ErrorReport report = analyse_error(data, BlockFormat::bbfp(4, 2));
+  EXPECT_GE(report.predicted_variance_flag_aware,
+            report.predicted_variance * 0.999);
+  EXPECT_GT(report.flag_fraction, 0.0);
+  EXPECT_LT(report.flag_fraction, 0.6);
+}
+
+TEST(ErrorModel, BfpHasNoFlags) {
+  const auto data = gaussian_data(5, 2048, 1.0);
+  const ErrorReport report = analyse_error(data, BlockFormat::bfp(4));
+  EXPECT_EQ(report.flag_fraction, 0.0);
+}
+
+TEST(ErrorModel, PredictedVarianceDropsWithMantissaWidth) {
+  const auto data = gaussian_data(6, 8192, 1.0);
+  double prev = 1e9;
+  for (const int m : {3, 4, 6, 8}) {
+    const ErrorReport r = analyse_error(data, BlockFormat::bfp(m));
+    EXPECT_LT(r.predicted_variance, prev);
+    prev = r.predicted_variance;
+  }
+}
+
+TEST(ErrorModel, EmpiricalMseMatchesAnalyseError) {
+  const auto data = gaussian_data(7, 2048, 2.0);
+  const BlockFormat fmt = BlockFormat::bbfp(6, 3);
+  EXPECT_DOUBLE_EQ(empirical_mse(data, fmt),
+                   analyse_error(data, fmt).empirical_mse);
+}
+
+TEST(ErrorModel, WiderDataRaisesVarianceViaPmf) {
+  // Scaling the data by 4 shifts every block exponent by 2 and the
+  // variance by ~16x (Eq. 8's 2^(2 gamma) dependence).
+  const auto data = gaussian_data(8, 8192, 1.0);
+  std::vector<double> scaled = data;
+  for (auto& x : scaled) x *= 4.0;
+  const BlockFormat fmt = BlockFormat::bfp(5);
+  const double v1 = analyse_error(data, fmt).predicted_variance;
+  const double v2 = analyse_error(scaled, fmt).predicted_variance;
+  EXPECT_NEAR(v2 / v1, 16.0, 0.5);
+}
+
+}  // namespace
+}  // namespace bbal::quant

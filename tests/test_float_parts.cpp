@@ -1,0 +1,130 @@
+#include "common/float_parts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace bbal {
+namespace {
+
+TEST(FloatParts, DecomposeOne) {
+  const FloatParts p = decompose(1.0, 11);
+  EXPECT_FALSE(p.zero);
+  EXPECT_FALSE(p.negative);
+  EXPECT_EQ(p.exponent, 0);
+  EXPECT_EQ(p.mantissa, 1024u);  // 2^10: leading one only
+}
+
+TEST(FloatParts, DecomposeNegativePowerOfTwo) {
+  const FloatParts p = decompose(-0.25, 11);
+  EXPECT_TRUE(p.negative);
+  EXPECT_EQ(p.exponent, -2);
+  EXPECT_EQ(p.mantissa, 1024u);
+}
+
+TEST(FloatParts, DecomposeMixedFraction) {
+  // 1.5 = 1.1b -> mantissa 0b110...0
+  const FloatParts p = decompose(1.5, 11);
+  EXPECT_EQ(p.exponent, 0);
+  EXPECT_EQ(p.mantissa, 1536u);
+}
+
+TEST(FloatParts, DecomposeZero) {
+  const FloatParts p = decompose(0.0, 11);
+  EXPECT_TRUE(p.zero);
+  EXPECT_EQ(compose(p, 11), 0.0);
+}
+
+TEST(FloatParts, RoundingCarryPromotesExponent) {
+  // 1.99999 at 4 mantissa bits rounds up to 2.0 (mantissa wraps, exp + 1).
+  const FloatParts p = decompose(1.99999, 4);
+  EXPECT_EQ(p.exponent, 1);
+  EXPECT_EQ(p.mantissa, 8u);  // 2^(4-1)
+  EXPECT_DOUBLE_EQ(compose(p, 4), 2.0);
+}
+
+TEST(FloatParts, RoundTripExactForRepresentable) {
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    // Build values exactly representable at 11 bits.
+    const auto mant = static_cast<std::uint64_t>(rng.uniform_int(1024, 2047));
+    const int exp = static_cast<int>(rng.uniform_int(-14, 15));
+    const double x = std::ldexp(static_cast<double>(mant), exp - 10) *
+                     (rng.uniform() < 0.5 ? -1.0 : 1.0);
+    const FloatParts p = decompose(x, 11);
+    EXPECT_DOUBLE_EQ(compose(p, 11), x);
+  }
+}
+
+TEST(FloatParts, RoundTripErrorBounded) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.gaussian(0.0, 10.0);
+    if (x == 0.0) continue;
+    const FloatParts p = decompose(x, 11);
+    const double back = compose(p, 11);
+    // Half-ULP bound at 11 bits.
+    const double ulp = std::ldexp(1.0, p.exponent - 10);
+    EXPECT_LE(std::fabs(back - x), ulp / 2.0 + 1e-300);
+  }
+}
+
+TEST(FloatParts, ExponentOf) {
+  EXPECT_EQ(exponent_of(1.0), 0);
+  EXPECT_EQ(exponent_of(1.99), 0);
+  EXPECT_EQ(exponent_of(2.0), 1);
+  EXPECT_EQ(exponent_of(0.5), -1);
+  EXPECT_EQ(exponent_of(-8.0), 3);
+  EXPECT_EQ(exponent_of(0.0, -99), -99);
+}
+
+TEST(FloatParts, Fp16ExactValuesPreserved) {
+  EXPECT_DOUBLE_EQ(to_fp16(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(to_fp16(-2.5), -2.5);
+  EXPECT_DOUBLE_EQ(to_fp16(65504.0), 65504.0);
+  EXPECT_DOUBLE_EQ(to_fp16(0.0), 0.0);
+}
+
+TEST(FloatParts, Fp16RoundsAtElevenBits) {
+  // 1 + 2^-11 is exactly between 1.0 and 1 + 2^-10: RNE keeps 1.0.
+  EXPECT_DOUBLE_EQ(to_fp16(1.0 + std::ldexp(1.0, -11)), 1.0);
+  // Slightly above the tie rounds up.
+  EXPECT_DOUBLE_EQ(to_fp16(1.0 + std::ldexp(1.2, -11)),
+                   1.0 + std::ldexp(1.0, -10));
+}
+
+TEST(FloatParts, Fp16SaturatesAtMax) {
+  EXPECT_DOUBLE_EQ(to_fp16(1e6), 65504.0);
+  EXPECT_DOUBLE_EQ(to_fp16(-1e6), -65504.0);
+}
+
+TEST(FloatParts, Fp16SubnormalQuantum) {
+  const double q = std::ldexp(1.0, -24);
+  EXPECT_DOUBLE_EQ(to_fp16(q * 3.0), q * 3.0);
+  EXPECT_DOUBLE_EQ(to_fp16(q * 2.4), q * 2.0);
+  EXPECT_DOUBLE_EQ(to_fp16(q / 3.0), 0.0);
+}
+
+class DecomposePrecisionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecomposePrecisionTest, MantissaAlwaysNormalised) {
+  const int p = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(p));
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.heavy_tailed(1.0, 0.05, 20.0);
+    if (x == 0.0) continue;
+    const FloatParts parts = decompose(x, p);
+    EXPECT_GE(parts.mantissa, std::uint64_t{1} << (p - 1));
+    EXPECT_LT(parts.mantissa, std::uint64_t{1} << p);
+    const double rel_err = std::fabs(compose(parts, p) - x) / std::fabs(x);
+    EXPECT_LE(rel_err, std::ldexp(1.0, -p));  // within one part in 2^p
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, DecomposePrecisionTest,
+                         ::testing::Values(3, 4, 6, 8, 10, 11, 16, 24, 53));
+
+}  // namespace
+}  // namespace bbal

@@ -1,0 +1,64 @@
+// Algorithm 1 behaviour against synthetic oracles.
+#include "quant/overlap_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bbal::quant {
+namespace {
+
+TEST(OverlapSearch, PureAccuracyPicksPplMinimum) {
+  // PPL minimal at o = 3.
+  auto ppl = [](int o) { return 10.0 + (o - 3) * (o - 3); };
+  auto overhead = [](int o) { return 100.0 - 5.0 * o; };
+  const OverlapSearchResult r = select_overlap_width(6, 0.0, ppl, overhead);
+  EXPECT_EQ(r.best_overlap, 3);
+}
+
+TEST(OverlapSearch, PureOverheadPicksCheapest) {
+  auto ppl = [](int o) { return 10.0 + (o - 3) * (o - 3); };
+  auto overhead = [](int o) { return 100.0 - 5.0 * o; };  // cheapest at o=5
+  const OverlapSearchResult r = select_overlap_width(6, 1.0, ppl, overhead);
+  EXPECT_EQ(r.best_overlap, 5);
+}
+
+TEST(OverlapSearch, InterpolatesBetweenExtremes) {
+  auto ppl = [](int o) { return 30.0 - 4.0 * o; };         // best at o = 5
+  auto overhead = [](int o) { return 50.0 + 10.0 * o; };   // best at o = 0
+  const OverlapSearchResult mostly_acc =
+      select_overlap_width(6, 0.1, ppl, overhead);
+  const OverlapSearchResult mostly_ovh =
+      select_overlap_width(6, 0.9, ppl, overhead);
+  EXPECT_GE(mostly_acc.best_overlap, mostly_ovh.best_overlap);
+}
+
+TEST(OverlapSearch, ScoresNormalisedToMaxOne) {
+  auto ppl = [](int o) { return 5.0 + o; };
+  auto overhead = [](int o) { return 100.0 + o; };
+  const OverlapSearchResult r = select_overlap_width(4, 0.5, ppl, overhead);
+  ASSERT_EQ(r.score.size(), 4u);
+  for (const double s : r.score) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0 + 1e-12);
+  }
+}
+
+TEST(OverlapSearch, EvaluatesEveryWidthExactlyOnce) {
+  int ppl_calls = 0;
+  int ovh_calls = 0;
+  auto ppl = [&](int) { ++ppl_calls; return 1.0; };
+  auto overhead = [&](int) { ++ovh_calls; return 1.0; };
+  (void)select_overlap_width(6, 0.5, ppl, overhead);
+  EXPECT_EQ(ppl_calls, 6);
+  EXPECT_EQ(ovh_calls, 6);
+}
+
+TEST(OverlapSearch, TieBreaksTowardSmallerOverlap) {
+  auto flat = [](int) { return 1.0; };
+  const OverlapSearchResult r = select_overlap_width(5, 0.5, flat, flat);
+  EXPECT_EQ(r.best_overlap, 0);  // first minimum wins
+}
+
+}  // namespace
+}  // namespace bbal::quant

@@ -1,0 +1,110 @@
+// Bit-packing round trips and the executable memory-density claims.
+#include "quant/packing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace bbal::quant {
+namespace {
+
+std::vector<double> random_data(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.heavy_tailed(1.0, 0.05, 20.0);
+  return xs;
+}
+
+TEST(Packing, RoundTripExactBbfp) {
+  const auto data = random_data(1, 256);
+  const BlockFormat fmt = BlockFormat::bbfp(4, 2);
+  const PackedBlocks packed = pack_values(data, fmt);
+  const std::vector<double> q_direct = quantise(data, fmt);
+  const std::vector<double> q_packed = unpack_values(packed);
+  ASSERT_EQ(q_packed.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_DOUBLE_EQ(q_packed[i], q_direct[i]) << i;
+}
+
+TEST(Packing, RoundTripExactBfp) {
+  const auto data = random_data(2, 200);  // non-multiple of block size
+  const BlockFormat fmt = BlockFormat::bfp(6);
+  const std::vector<double> q_direct = quantise(data, fmt);
+  const std::vector<double> q_packed = unpack_values(pack_values(data, fmt));
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_DOUBLE_EQ(q_packed[i], q_direct[i]) << i;
+}
+
+TEST(Packing, NegativeZeroAndZeroBlocks) {
+  std::vector<double> data(40, 0.0);
+  data[3] = -0.0;
+  const PackedBlocks packed = pack_values(data, BlockFormat::bbfp(6, 3));
+  const std::vector<double> q = unpack_values(packed);
+  for (const double v : q) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Packing, BitsPerElementMatchesEquivalentBits) {
+  // The executable version of Table I's "Equivalent Bit-Width" column.
+  for (const auto& fmt :
+       {BlockFormat::bfp(8), BlockFormat::bfp(6), BlockFormat::bbfp(8, 4),
+        BlockFormat::bbfp(6, 3), BlockFormat::bbfp(4, 2)}) {
+    const auto data = random_data(3, 1024);
+    const PackedBlocks packed = pack_values(data, fmt);
+    EXPECT_NEAR(packed.bits_per_element(), fmt.equivalent_bits(), 1e-9)
+        << fmt.name();
+    // Physical bytes: padding at most 7 bits total.
+    EXPECT_LE(packed.bit_count(),
+              static_cast<std::size_t>(fmt.equivalent_bits() * 1024) + 8)
+        << fmt.name();
+  }
+}
+
+TEST(Packing, MemoryEfficiencyRealisedAgainstFp16) {
+  const auto data = random_data(4, 2048);
+  const PackedBlocks packed = pack_values(data, BlockFormat::bfp(6));
+  const double fp16_bits = 16.0 * 2048;
+  EXPECT_NEAR(fp16_bits / static_cast<double>(packed.bit_count()), 2.24, 0.03);
+}
+
+TEST(Packing, PreservesFlagsAndExponents) {
+  const auto data = random_data(5, 64);
+  const BlockFormat fmt = BlockFormat::bbfp(6, 3);
+  std::vector<EncodedBlock> blocks;
+  blocks.push_back(encode_block(std::span<const double>(data).subspan(0, 32), fmt));
+  blocks.push_back(encode_block(std::span<const double>(data).subspan(32, 32), fmt));
+  const std::vector<EncodedBlock> back = unpack_blocks(pack_blocks(blocks));
+  ASSERT_EQ(back.size(), 2u);
+  for (std::size_t b = 0; b < 2; ++b) {
+    EXPECT_EQ(back[b].shared_exponent, blocks[b].shared_exponent);
+    for (std::size_t i = 0; i < 32; ++i) {
+      EXPECT_EQ(back[b].elems[i].negative, blocks[b].elems[i].negative);
+      EXPECT_EQ(back[b].elems[i].flag, blocks[b].elems[i].flag);
+      EXPECT_EQ(back[b].elems[i].mantissa, blocks[b].elems[i].mantissa);
+    }
+  }
+}
+
+class PackingSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PackingSweep, RoundTripAcrossConfigs) {
+  const auto [m, o] = GetParam();
+  const BlockFormat fmt = BlockFormat::bbfp(m, o);
+  const auto data = random_data(100 + static_cast<std::uint64_t>(m * 8 + o), 96);
+  const std::vector<double> q_direct = quantise(data, fmt);
+  const std::vector<double> q_packed = unpack_values(pack_values(data, fmt));
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_DOUBLE_EQ(q_packed[i], q_direct[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PackingSweep,
+    ::testing::Values(std::pair{3, 1}, std::pair{3, 2}, std::pair{4, 2},
+                      std::pair{4, 3}, std::pair{6, 3}, std::pair{6, 5},
+                      std::pair{8, 4}, std::pair{10, 5}),
+    [](const ::testing::TestParamInfo<std::pair<int, int>>& info) {
+      return "m" + std::to_string(info.param.first) + "o" +
+             std::to_string(info.param.second);
+    });
+
+}  // namespace
+}  // namespace bbal::quant

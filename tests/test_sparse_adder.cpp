@@ -1,0 +1,131 @@
+// Proof that the carry-chain simplification (Eq. 13/14) is exact, plus the
+// area-saving claim of Section IV.A.
+#include "arith/sparse_adder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hpp"
+#include "common/rng.hpp"
+
+namespace bbal::arith {
+namespace {
+
+TEST(SparseAdder, MatchesPlainAdditionWhenAllFullAdders) {
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = static_cast<std::uint64_t>(rng.uniform_int(0, 0xFFF));
+    const auto b = static_cast<std::uint64_t>(rng.uniform_int(0, 0xFFF));
+    const SparseAddOutcome out = sparse_add(a, b, 0, 13);
+    EXPECT_EQ(out.sum, (a + b) & low_mask(13));
+    EXPECT_EQ(out.full_adder_cells, 13);
+    EXPECT_EQ(out.carry_chain_cells, 0);
+  }
+}
+
+TEST(SparseAdder, ExactWithCarryChainOnZeroPositions) {
+  // BBFP(4,2) product field: 12 bits, 8 significant at offsets {0, 2, 4}.
+  Rng rng(2);
+  for (const int lift : {0, 2, 4}) {
+    const std::uint64_t mask = low_mask(12) & ~(low_mask(8) << lift);
+    for (int trial = 0; trial < 300; ++trial) {
+      const auto acc = static_cast<std::uint64_t>(rng.uniform_int(0, 0xFFF));
+      const auto prod =
+          static_cast<std::uint64_t>(rng.uniform_int(0, 0xFF)) << lift;
+      const SparseAddOutcome out = sparse_add(acc, prod, mask, 12);
+      EXPECT_EQ(out.sum, (acc + prod) & low_mask(12))
+          << "lift=" << lift << " acc=" << acc << " prod=" << prod;
+      EXPECT_EQ(out.carry_chain_cells, 4);
+      EXPECT_EQ(out.full_adder_cells, 8);
+    }
+  }
+}
+
+TEST(SparseAdder, CarryPropagatesThroughChain) {
+  // 0b0111 + 0b0001 with top three bits as chain: carry must ripple.
+  const std::uint64_t mask = 0b1110;
+  const SparseAddOutcome out = sparse_add(0b0111, 0b0001, mask, 4);
+  EXPECT_EQ(out.sum, 0b1000u);
+  EXPECT_FALSE(out.carry_out);
+}
+
+TEST(SparseAdder, CarryOutReported) {
+  const SparseAddOutcome out = sparse_add(0xFFF, 0x001, 0xFFE, 12);
+  EXPECT_EQ(out.sum, 0u);
+  EXPECT_TRUE(out.carry_out);
+}
+
+TEST(ProductZeroMask, MatchesFlagCombinations) {
+  // m = 4, d = 2 -> 12-bit field, 8 significant bits.
+  EXPECT_EQ(product_zero_mask(4, 2, false, false), 0xF00u);  // lift 0
+  EXPECT_EQ(product_zero_mask(4, 2, true, false), 0xC03u);   // lift 2
+  EXPECT_EQ(product_zero_mask(4, 2, false, true), 0xC03u);
+  EXPECT_EQ(product_zero_mask(4, 2, true, true), 0x00Fu);    // lift 4
+}
+
+TEST(ProductZeroMask, BfpDegenerate) {
+  // d = 0: no zero positions, plain full adder.
+  EXPECT_EQ(product_zero_mask(4, 0, false, false), 0u);
+}
+
+TEST(AdderSavings, TwelveBitCaseNearPaperClaim) {
+  // 8-bit adder + 4-bit carry chain vs 12-bit adder: paper reports ~15%.
+  const AdderSavings s = adder_savings(12, 4);
+  EXPECT_GT(s.saving_fraction, 0.10);
+  EXPECT_LT(s.saving_fraction, 0.25);
+}
+
+TEST(AdderSavings, GrowsWithChainFraction) {
+  double prev = 0.0;
+  for (int chain = 0; chain <= 12; chain += 2) {
+    const AdderSavings s = adder_savings(12, chain);
+    EXPECT_GE(s.saving_fraction, prev);
+    prev = s.saving_fraction;
+  }
+}
+
+struct SparsePattern {
+  int m;
+  int d;
+  bool fa;
+  bool fb;
+};
+
+class SparseAdderProperty : public ::testing::TestWithParam<SparsePattern> {};
+
+TEST_P(SparseAdderProperty, ExactForAllPaperConfigs) {
+  const auto [m, d, fa, fb] = GetParam();
+  const int width = 2 * m + 2 * d + 2;  // field + guard
+  const std::uint64_t mask =
+      product_zero_mask(m, d, fa, fb);  // guard bits use full adders
+  const int lift = d * ((fa ? 1 : 0) + (fb ? 1 : 0));
+  Rng rng(static_cast<std::uint64_t>(m * 1000 + d * 100 + fa * 10 + fb));
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto acc =
+        static_cast<std::uint64_t>(rng.uniform_int(0, (1 << width) - 1));
+    const auto mant = static_cast<std::uint64_t>(
+        rng.uniform_int(0, (1 << (2 * m)) - 1));
+    const std::uint64_t prod = mant << lift;
+    const SparseAddOutcome out = sparse_add(acc, prod, mask, width);
+    EXPECT_EQ(out.sum, (acc + prod) & low_mask(width));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, SparseAdderProperty,
+    ::testing::Values(SparsePattern{4, 2, false, false},
+                      SparsePattern{4, 2, true, false},
+                      SparsePattern{4, 2, true, true},
+                      SparsePattern{3, 2, true, false},
+                      SparsePattern{6, 3, false, false},
+                      SparsePattern{6, 3, true, false},
+                      SparsePattern{6, 3, true, true},
+                      SparsePattern{8, 4, true, true},
+                      SparsePattern{10, 5, true, false}),
+    [](const ::testing::TestParamInfo<SparsePattern>& info) {
+      return "m" + std::to_string(info.param.m) + "d" +
+             std::to_string(info.param.d) + (info.param.fa ? "F1" : "f1") +
+             (info.param.fb ? "F1" : "f0");
+    });
+
+}  // namespace
+}  // namespace bbal::arith
