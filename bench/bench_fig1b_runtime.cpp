@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "accel/simulator.hpp"
+#include "bbal/session.hpp"
 #include "common/table.hpp"
 #include "llm/model.hpp"
 #include "nl/unit_cost.hpp"
@@ -45,7 +46,6 @@ int main() {
 
   const llm::ModelConfig model = llm::config_by_name("Llama-7B");
   AcceleratorConfig cfg;
-  cfg.strategy = "FP16";
   cfg.array_rows = cfg.array_cols = 32;
 
   const int tokens_per_point = 64;  // decode steps aggregated per row
@@ -58,10 +58,17 @@ int main() {
   double first_ratio = 0.0;
   double last_ratio = 0.0;
   for (const int seq : {128, 256, 512, 1024, 2048, 4096}) {
-    const std::vector<GemmShape> gemms = decode_step_gemms(model, seq);
-    const GemmStats stats = simulate_gemms(cfg, gemms);
-    const double linear_ms =
-        stats.cycles / (cfg.freq_ghz * 1e9) * 1e3 * tokens_per_point;
+    // Cost-only session: one decode step on a conventional FP16 array.
+    auto session = bbal::Session::Builder()
+                       .model(model)
+                       .matmul("FP16")
+                       .accelerator(cfg)
+                       .skip_accuracy()
+                       .workload_decode(seq)
+                       .build()
+                       .expect("fig1b session");
+    const auto report = session.evaluate().expect("fig1b evaluate");
+    const double linear_ms = report.run.seconds * 1e3 * tokens_per_point;
     const std::vector<NlOp> nl_ops = decode_step_nl_ops(model, seq);
     const double sfu_ms = nl_time_ms(sfu, nl_ops, tokens_per_point);
     const double ours_ms = nl_time_ms(ours, nl_ops, tokens_per_point);

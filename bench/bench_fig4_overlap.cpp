@@ -4,11 +4,12 @@
 // best around o=3..4; overhead decreases with o (narrower carry chain).
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <vector>
 
+#include "bbal/session.hpp"
 #include "common/table.hpp"
 #include "hw/datapath_designs.hpp"
-#include "llm/perplexity.hpp"
 #include "quant/overlap_search.hpp"
 
 int main() {
@@ -21,10 +22,10 @@ int main() {
 
   // Average PPL over one Llama-like and one OPT-like model (the paper's
   // "Avg PPL" axis averages its model suite).
-  std::vector<PreparedModel> prepared;
+  std::vector<std::shared_ptr<const PreparedModel>> prepared;
   for (const char* name : {"Llama-7B", "OPT-6.7B"}) {
     std::fprintf(stderr, "preparing %s...\n", name);
-    prepared.push_back(prepare_model(config_by_name(name), eval_tokens));
+    prepared.push_back(prepare_shared(name, eval_tokens));
   }
 
   const int m = 6;
@@ -33,9 +34,14 @@ int main() {
     auto& cached = ppl_cache[static_cast<std::size_t>(o)];
     if (cached >= 0.0) return cached;
     double acc = 0.0;
-    for (const PreparedModel& p : prepared)
-      acc +=
-          evaluate_ppl_block_format(p, quant::BlockFormat::bbfp(m, o));
+    for (const auto& p : prepared) {
+      auto session = Session::Builder()
+                         .prepared(p)
+                         .matmul(quant::StrategySpec::bbfp(m, o))
+                         .build()
+                         .expect("fig4 session");
+      acc += session.evaluate().expect("fig4 evaluate").perplexity;
+    }
     cached = acc / static_cast<double>(prepared.size());
     return cached;
   };

@@ -1,5 +1,7 @@
 // Regenerates Fig. 8: accuracy (average Llama/OPT perplexity) and
-// throughput under iso PE area for every quantisation strategy.
+// throughput under iso PE area for every quantisation strategy — each
+// strategy is one Session; perplexity and throughput come from the same
+// evaluate() call on the Llama model.
 //
 // Headline claims: BBFP(3,1)/(3,2) ~ Oltron throughput (all 3-bit
 // multipliers) with better accuracy; ~40% faster than BFP4 at similar
@@ -9,41 +11,12 @@
 #include <string>
 #include <vector>
 
-#include "accel/simulator.hpp"
-#include "baselines/quant_baselines.hpp"
+#include "bbal/session.hpp"
 #include "common/table.hpp"
-#include "llm/perplexity.hpp"
-
-namespace {
-
-using namespace bbal;
-using namespace bbal::llm;
-
-double eval_ppl_for_strategy(const PreparedModel& prepared,
-                             const std::string& name) {
-  Fp32NonlinearBackend nl;
-  if (name == "Oltron") {
-    baselines::OltronBackend b;
-    return evaluate_ppl(prepared, b, nl);
-  }
-  if (name == "Olive") {
-    baselines::OliveBackend b;
-    return evaluate_ppl(prepared, b, nl);
-  }
-  if (name.rfind("BBFP(", 0) == 0) {
-    const auto comma = name.find(',');
-    return evaluate_ppl_block_format(
-        prepared, quant::BlockFormat::bbfp(
-                      std::stoi(name.substr(5, comma - 5)),
-                      std::stoi(name.substr(comma + 1))));
-  }
-  return evaluate_ppl_block_format(
-      prepared, quant::BlockFormat::bfp(std::stoi(name.substr(3))));
-}
-
-}  // namespace
 
 int main() {
+  using namespace bbal;
+
   print_banner("Fig. 8: iso-area accuracy vs throughput");
   const char* tok_env = std::getenv("BBAL_EVAL_TOKENS");
   const int eval_tokens = tok_env != nullptr ? std::atoi(tok_env) : 256;
@@ -51,17 +24,13 @@ int main() {
   // Accuracy on one model per family; throughput on a Llama-7B-like
   // prefill workload under a fixed PE area budget.
   std::fprintf(stderr, "preparing models...\n");
-  const PreparedModel llama =
-      prepare_model(config_by_name("Llama-7B"), eval_tokens);
-  const PreparedModel opt =
-      prepare_model(config_by_name("OPT-6.7B"), eval_tokens);
+  const auto llama = prepare_shared("Llama-7B", eval_tokens);
+  const auto opt = prepare_shared("OPT-6.7B", eval_tokens);
 
   // Dense prefill workload with bandwidth headroom so the comparison is
   // compute-bound — the regime of the paper's iso-area study.
   const double pe_budget_um2 = 150000.0;
   const double dram_gbps = 51.2;
-  const std::vector<accel::GemmShape> workload =
-      accel::prefill_gemms(llama.config, /*seq=*/1024);
 
   const std::vector<std::string> strategies = {
       "Oltron",    "Olive",     "BFP4",      "BFP6",
@@ -77,14 +46,28 @@ int main() {
   double max_gops = 0.0;
   for (const std::string& s : strategies) {
     std::fprintf(stderr, "evaluating %s...\n", s.c_str());
+    // Perplexity and iso-area throughput from one call; the fixed prefill
+    // workload keeps every strategy on the same compute-bound footing.
+    auto llama_session = Session::Builder()
+                             .prepared(llama)
+                             .matmul(s)
+                             .accelerator_iso_area(pe_budget_um2, dram_gbps)
+                             .workload_prefill(1024)
+                             .build()
+                             .expect("fig8 session");
+    const auto llama_report =
+        llama_session.evaluate().expect("fig8 evaluate");
+    auto opt_session =
+        Session::Builder().prepared(opt).matmul(s).build().expect(
+            "fig8 session");
+    const auto opt_report = opt_session.evaluate().expect("fig8 evaluate");
+
     Row r;
     r.name = s;
-    r.llama_ppl = eval_ppl_for_strategy(llama, s);
-    r.opt_ppl = eval_ppl_for_strategy(opt, s);
-    const accel::AcceleratorConfig cfg =
-        accel::iso_area_config(s, pe_budget_um2, dram_gbps);
-    r.pes = cfg.pe_count();
-    r.gops = accel::simulate_workload(cfg, workload).throughput_gops;
+    r.llama_ppl = llama_report.perplexity;
+    r.opt_ppl = opt_report.perplexity;
+    r.pes = llama_session.accelerator().pe_count();
+    r.gops = llama_report.run.throughput_gops;
     max_gops = std::max(max_gops, r.gops);
     rows.push_back(r);
   }

@@ -8,18 +8,14 @@
 #include <string>
 #include <vector>
 
-#include "accel/simulator.hpp"
+#include "bbal/session.hpp"
 #include "common/table.hpp"
-#include "llm/model.hpp"
 
 int main() {
   using namespace bbal;
-  using namespace bbal::accel;
+  using accel::EnergyBreakdown;
 
   print_banner("Fig. 9: normalised energy breakdown (same PEs, same buffers)");
-
-  const llm::ModelConfig model = llm::config_by_name("Llama-7B");
-  const std::vector<GemmShape> workload = prefill_gemms(model, /*seq=*/512);
 
   const std::vector<std::string> strategies = {
       "Oltron",    "Olive",     "BFP4",      "BFP6",
@@ -33,12 +29,20 @@ int main() {
   std::vector<Row> rows;
   double max_total = 0.0;
   for (const std::string& s : strategies) {
-    AcceleratorConfig cfg;  // identical array + buffers for all strategies
-    cfg.strategy = s;
+    accel::AcceleratorConfig cfg;  // identical array + buffers everywhere
     cfg.array_rows = cfg.array_cols = 16;
-    const RunStats run = simulate_workload(cfg, workload);
-    rows.push_back({s, run.energy});
-    max_total = std::max(max_total, run.energy.total_j());
+    // Cost-only session: no perplexity run, same prefill workload per row.
+    auto session = Session::Builder()
+                       .model("Llama-7B")
+                       .matmul(s)
+                       .accelerator(cfg)
+                       .skip_accuracy()
+                       .workload_prefill(512)
+                       .build()
+                       .expect("fig9 session");
+    const auto report = session.evaluate().expect("fig9 evaluate");
+    rows.push_back({s, report.energy});
+    max_total = std::max(max_total, report.energy.total_j());
   }
 
   TextTable table({"Strategy", "Static", "DRAM", "Buffer", "Core", "Total",

@@ -11,14 +11,13 @@
 #include <string>
 #include <vector>
 
-#include "baselines/quant_baselines.hpp"
+#include "bbal/registry.hpp"
+#include "bbal/session.hpp"
 #include "common/table.hpp"
-#include "llm/perplexity.hpp"
 
 namespace {
 
 using namespace bbal;
-using namespace bbal::llm;
 
 int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
@@ -56,30 +55,17 @@ const std::map<std::string, std::vector<double>> kPaper = {
                    10.14, 9.55, 9.36}},
 };
 
-double eval_strategy(const PreparedModel& prepared, const std::string& name) {
-  Fp32NonlinearBackend nl;
-  if (name == "FP16") return prepared.fp32_ppl;
-  if (name == "Oltron") {
-    baselines::OltronBackend b;
-    return evaluate_ppl(prepared, b, nl);
-  }
-  if (name == "Olive") {
-    baselines::OliveBackend b;
-    return evaluate_ppl(prepared, b, nl);
-  }
-  if (name == "OmniQuant") {
-    baselines::OmniquantBackend b;
-    return evaluate_ppl(prepared, b, nl);
-  }
-  if (name.rfind("BBFP(", 0) == 0) {
-    const auto comma = name.find(',');
-    const int m = std::stoi(name.substr(5, comma - 5));
-    const int o = std::stoi(name.substr(comma + 1));
-    return evaluate_ppl_block_format(prepared, quant::BlockFormat::bbfp(m, o));
-  }
-  // BFPn
-  return evaluate_ppl_block_format(
-      prepared, quant::BlockFormat::bfp(std::stoi(name.substr(3))));
+/// One Table II cell through the Session API.
+double eval_strategy(
+    const std::shared_ptr<const llm::PreparedModel>& prepared,
+    const std::string& name) {
+  if (name == "FP16") return prepared->fp32_ppl;
+  auto session = Session::Builder()
+                     .prepared(prepared)
+                     .matmul(name)
+                     .build()
+                     .expect("table2 session");
+  return session.evaluate().expect("table2 evaluate").perplexity;
 }
 
 }  // namespace
@@ -100,15 +86,12 @@ int main() {
     }
   }
 
-  const std::vector<std::string> strategies = {
-      "FP16",      "Oltron",    "Olive",     "OmniQuant", "BFP6",
-      "BFP4",      "BBFP(3,1)", "BBFP(4,2)", "BBFP(4,3)", "BBFP(6,3)",
-      "BBFP(6,4)"};
+  const std::vector<std::string> strategies = table2_strategies();
 
-  std::map<std::string, PreparedModel> prepared;
+  std::map<std::string, std::shared_ptr<const llm::PreparedModel>> prepared;
   for (const std::string& name : models) {
     std::fprintf(stderr, "preparing %s...\n", name.c_str());
-    prepared.emplace(name, prepare_model(config_by_name(name), eval_tokens));
+    prepared.emplace(name, prepare_shared(name, eval_tokens));
   }
 
   std::vector<std::string> header = {"Strategy"};
@@ -125,7 +108,7 @@ int main() {
       std::fprintf(stderr, "  %s x %s\n", strat.c_str(), model.c_str());
       const double ppl = eval_strategy(prepared.at(model), strat);
       row.push_back(TextTable::num(ppl, 2));
-      ratio_acc += ppl / prepared.at(model).fp32_ppl;
+      ratio_acc += ppl / prepared.at(model)->fp32_ppl;
       // Paper cell (when the full zoo is selected).
       const auto it = kPaper.find(strat);
       double pv = -1;

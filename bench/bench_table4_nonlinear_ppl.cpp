@@ -3,11 +3,12 @@
 // BFP10 must blow up — the max-alignment failure on nonlinear inputs.
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "bbal/session.hpp"
 #include "common/table.hpp"
-#include "llm/perplexity.hpp"
-#include "nl/backends.hpp"
 
 int main() {
   using namespace bbal;
@@ -29,10 +30,10 @@ int main() {
       "BFP10 softmax only",    "BFP10 SILU only",
       "BFP10 altogether"};
 
-  std::vector<PreparedModel> prepared;
+  std::vector<std::shared_ptr<const PreparedModel>> prepared;
   for (const ModelConfig& cfg : zoo) {
     std::fprintf(stderr, "preparing %s...\n", cfg.name.c_str());
-    prepared.push_back(prepare_model(cfg, eval_tokens));
+    prepared.push_back(prepare_shared(cfg, eval_tokens));
   }
 
   std::vector<std::string> header = {"Nonlinear scheme"};
@@ -40,20 +41,22 @@ int main() {
   header.push_back("(paper row)");
   TextTable table(header);
 
-  auto run_row = [&](const std::string& name, int paper_idx, bool use_bbfp,
-                     bool softmax_q, bool silu_q) {
+  // Table IV rows as nonlinear strategy names: linear layers stay FP32,
+  // the routing suffix picks which nonlinearity goes through the unit.
+  auto run_row = [&](const std::string& name, int paper_idx,
+                     const std::string& nl_strategy) {
     std::vector<std::string> row = {name};
     for (std::size_t i = 0; i < zoo.size(); ++i) {
       double ppl = 0.0;
-      if (paper_idx == 0) {
-        ppl = prepared[i].fp32_ppl;
+      if (nl_strategy == "FP32") {
+        ppl = prepared[i]->fp32_ppl;
       } else {
-        const quant::BlockFormat fmt = use_bbfp
-                                           ? quant::BlockFormat::bbfp(10, 5)
-                                           : quant::BlockFormat::bfp(10);
-        nl::LutNonlinearBackend backend(fmt, softmax_q, silu_q);
-        Fp32MatmulBackend mm;
-        ppl = evaluate_ppl(prepared[i], mm, backend);
+        auto session = Session::Builder()
+                           .prepared(prepared[i])
+                           .nonlinear(nl_strategy)
+                           .build()
+                           .expect("table4 session");
+        ppl = session.evaluate().expect("table4 evaluate").perplexity;
       }
       row.push_back(TextTable::num(ppl, 2));
     }
@@ -64,13 +67,13 @@ int main() {
     table.add_row(row);
   };
 
-  run_row(row_names[0], 0, true, false, false);
-  run_row(row_names[1], 1, true, true, false);
-  run_row(row_names[2], 2, true, false, true);
-  run_row(row_names[3], 3, true, true, true);
-  run_row(row_names[4], 4, false, true, false);
-  run_row(row_names[5], 5, false, false, true);
-  run_row(row_names[6], 6, false, true, true);
+  run_row(row_names[0], 0, "FP32");
+  run_row(row_names[1], 1, "BBFP-LUT(10,5)/softmax");
+  run_row(row_names[2], 2, "BBFP-LUT(10,5)/silu");
+  run_row(row_names[3], 3, "BBFP-LUT(10,5)");
+  run_row(row_names[4], 4, "BFP-LUT(10)/softmax");
+  run_row(row_names[5], 5, "BFP-LUT(10)/silu");
+  run_row(row_names[6], 6, "BFP-LUT(10)");
 
   table.print();
   std::printf(

@@ -1,19 +1,20 @@
 // Drive the BBAL accelerator model end to end: run a decoder workload on
-// the cycle-level simulator, print cycles / utilisation / energy, and show
-// the bit-exact GEMM path agreeing with the functional quantiser.
+// the cycle-level simulator through a cost-only bbal::Session, print
+// cycles / utilisation / energy, and show the bit-exact GEMM path agreeing
+// with the functional quantiser.
 //
 // Usage: ./build/examples/accelerator_sim [strategy] [seq]
 //        strategy in {BBFP(4,2), BFP4, BFP6, Oltron, ...}, default BBFP(4,2)
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "accel/encoders.hpp"
 #include "accel/gemm_executor.hpp"
-#include "accel/simulator.hpp"
+#include "bbal/session.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
-#include "llm/model.hpp"
 
 int main(int argc, char** argv) {
   using namespace bbal;
@@ -22,22 +23,26 @@ int main(int argc, char** argv) {
   const std::string strategy = argc > 1 ? argv[1] : "BBFP(4,2)";
   const int seq = argc > 2 ? std::atoi(argv[2]) : 512;
 
+  // Parse the strategy once; every downstream consumer (PE design,
+  // encoder sizing, bit-exact GEMM) keys off the same spec.
+  const auto spec = quant::StrategySpec::parse(strategy);
+  if (!spec.is_ok()) {
+    std::fprintf(stderr, "bad strategy: %s\n", spec.message().c_str());
+    return 1;
+  }
+
   AcceleratorConfig cfg;
-  cfg.strategy = strategy;
+  cfg.strategy = spec.value().to_string();
   cfg.array_rows = cfg.array_cols = 16;
 
   std::printf("BBAL accelerator simulation — strategy %s, %dx%d PEs\n",
-              strategy.c_str(), cfg.array_rows, cfg.array_cols);
+              cfg.strategy.c_str(), cfg.array_rows, cfg.array_cols);
+  const auto fmt = spec.value().block_format();
   std::printf("PE area: %.1f um2 each, array %.0f um2, encoders %.0f um2\n\n",
               cfg.pe_design().area_um2(hw::CellLibrary::tsmc28()),
               cfg.pe_array_area_um2(),
-              strategy.rfind("BBFP", 0) == 0 || strategy.rfind("BFP", 0) == 0
-                  ? encoder_area_um2(
-                        strategy.rfind("BBFP", 0) == 0
-                            ? quant::BlockFormat::bbfp(4, 2)
-                            : quant::BlockFormat::bfp(4),
-                        cfg.array_cols)
-                  : 0.0);
+              fmt.is_ok() ? encoder_area_um2(fmt.value(), cfg.array_cols)
+                          : 0.0);
 
   const llm::ModelConfig model = llm::config_by_name("Llama-7B");
   const auto workload = prefill_gemms(model, seq);
@@ -55,7 +60,20 @@ int main(int argc, char** argv) {
   }
   table.print();
 
-  const RunStats run = simulate_workload(cfg, workload);
+  // The whole prefill as one cost-only Session.
+  auto session = Session::Builder()
+                     .model(model)
+                     .matmul(spec.value())
+                     .accelerator(cfg)
+                     .skip_accuracy()
+                     .workload_prefill(seq)
+                     .build();
+  if (!session.is_ok()) {
+    std::fprintf(stderr, "session: %s\n", session.message().c_str());
+    return 1;
+  }
+  const auto report = session.value().evaluate().expect("evaluate");
+  const RunStats& run = report.run;
   std::printf("\nWhole prefill (seq %d): %.2f Mcycles, %.2f ms @ %.1f GHz, "
               "%.1f GOPS, util %.1f%%\n",
               seq, run.gemm.cycles / 1e6, run.seconds * 1e3, cfg.freq_ghz,
@@ -65,17 +83,17 @@ int main(int argc, char** argv) {
               run.energy.core_j * 1e6, run.energy.buffer_j * 1e6,
               run.energy.dram_j * 1e6, run.energy.static_j * 1e6,
               run.energy.total_j() * 1e6);
+  std::printf("Weight footprint under %s: %.2f MB\n", cfg.strategy.c_str(),
+              report.memory_footprint_bytes / (1024.0 * 1024.0));
 
   // Functional check: the integer-datapath GEMM against FP32.
-  if (strategy.rfind("BBFP(", 0) == 0 || strategy.rfind("BFP", 0) == 0) {
+  if (fmt.is_ok()) {
     Rng rng(1);
     llm::Matrix a(4, 64), w(64, 4);
     for (float& v : a.flat()) v = static_cast<float>(rng.gaussian());
     for (float& v : w.flat()) v = static_cast<float>(rng.gaussian());
-    quant::BlockFormat fmt = quant::BlockFormat::bbfp(4, 2);
-    if (strategy.rfind("BFP", 0) == 0)
-      fmt = quant::BlockFormat::bfp(std::stoi(strategy.substr(3)));
-    const llm::Matrix q = execute_gemm_bit_exact(a, w, fmt, fmt);
+    const llm::Matrix q = execute_gemm_bit_exact(a, w, fmt.value(),
+                                                 fmt.value());
     const llm::Matrix exact = llm::matmul(a, w);
     double max_err = 0.0;
     for (int i = 0; i < q.rows(); ++i)
@@ -84,7 +102,7 @@ int main(int argc, char** argv) {
                                         q.at(i, j) - exact.at(i, j))));
     std::printf("\nBit-exact %s GEMM vs FP32 reference: max |error| = %.4f "
                 "(quantisation error, not a bug)\n",
-                fmt.name().c_str(), max_err);
+                fmt.value().name().c_str(), max_err);
   }
   return 0;
 }

@@ -1,11 +1,13 @@
 // Quickstart: encode a vector into BBFP, compare its quantisation error
-// against BFP, and run a bit-exact block dot product.
+// against BFP, run a bit-exact block dot product, then reproduce a whole
+// Table II cell (perplexity + throughput + energy) with one bbal::Session.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 #include <cstdio>
 #include <vector>
 
+#include "bbal/session.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "quant/block.hpp"
@@ -55,6 +57,31 @@ int main() {
   std::printf("Integer accumulator: %lld x 2^%d, widest product: %d bits\n",
               static_cast<long long>(dot.accumulator), dot.scale_exponent,
               dot.max_product_bits);
+
+  // 5. One Table II cell end to end: accuracy and hardware cost from the
+  //    same forward passes, via the Session API.
+  std::printf("\nOne Session = one Table II cell (small eval stream):\n");
+  auto session = bbal::Session::Builder()
+                     .model("Llama-7B")
+                     .eval_tokens(256)
+                     .matmul("BBFP(4,2)")
+                     .nonlinear("FP32")
+                     .accelerator_iso_area(/*pe_area_budget_um2=*/150000.0)
+                     .build();
+  if (!session.is_ok()) {
+    std::fprintf(stderr, "session: %s\n", session.message().c_str());
+    return 1;
+  }
+  const auto report = session.value().evaluate().expect("evaluate");
+  std::printf("  BBFP(4,2) perplexity : %.2f (FP32 baseline %.2f)\n",
+              report.perplexity, report.fp32_perplexity);
+  std::printf("  Throughput           : %.1f GOPS on %d iso-area PEs\n",
+              report.run.throughput_gops,
+              session.value().accelerator().pe_count());
+  std::printf("  Energy               : %.1f uJ, weights %.2f MB\n",
+              report.energy.total_j() * 1e6,
+              report.memory_footprint_bytes / (1024.0 * 1024.0));
+
   std::printf("\nDone. See examples/llm_inference.cpp for the full model.\n");
   return 0;
 }

@@ -1,27 +1,44 @@
 #include "accel/config.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "quant/strategy.hpp"
 
 namespace bbal::accel {
 
-AcceleratorConfig iso_area_config(const std::string& strategy,
-                                  double pe_area_budget_um2,
-                                  double dram_gbps) {
-  assert(pe_area_budget_um2 > 0.0);
+Result<AcceleratorConfig> make_iso_area_config(const quant::StrategySpec& spec,
+                                               double pe_area_budget_um2,
+                                               double dram_gbps) {
+  using R = Result<AcceleratorConfig>;
+  if (pe_area_budget_um2 <= 0.0)
+    return R::error("PE area budget must be positive");
+  const Result<hw::DatapathDesign> design = hw::pe_for_spec(spec);
+  if (!design.is_ok()) return R::error(design.message());
+
   AcceleratorConfig cfg;
-  cfg.strategy = strategy;
+  cfg.strategy = spec.to_string();
   cfg.dram_gbps = dram_gbps;
-  const double pe_area =
-      hw::pe_for_strategy(strategy).area_um2(hw::CellLibrary::tsmc28());
+  const double pe_area = design.value().area_um2(hw::CellLibrary::tsmc28());
   const auto n_pe = static_cast<int>(pe_area_budget_um2 / pe_area);
-  assert(n_pe >= 1);
+  if (n_pe < 1)
+    return R::error("PE area budget " + std::to_string(pe_area_budget_um2) +
+                    " um2 fits no " + spec.to_string() + " PE (" +
+                    std::to_string(pe_area) + " um2 each)");
   // Near-square array, rows <= cols.
-  int rows = std::max(1, static_cast<int>(std::sqrt(n_pe)));
+  const int rows = std::max(1, static_cast<int>(std::sqrt(n_pe)));
   const int cols = std::max(1, n_pe / rows);
   cfg.array_rows = rows;
   cfg.array_cols = cols;
   return cfg;
+}
+
+AcceleratorConfig iso_area_config(const std::string& strategy,
+                                  double pe_area_budget_um2,
+                                  double dram_gbps) {
+  const quant::StrategySpec spec =
+      quant::StrategySpec::parse(strategy).expect("iso_area_config");
+  return make_iso_area_config(spec, pe_area_budget_um2, dram_gbps)
+      .expect("iso_area_config");
 }
 
 }  // namespace bbal::accel

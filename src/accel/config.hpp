@@ -35,8 +35,14 @@ struct AcceleratorConfig {
   }
 };
 
-/// Build an iso-area configuration: as many PEs of `strategy` as fit in
+/// Build an iso-area configuration: as many PEs of `spec` as fit in
 /// `pe_area_budget_um2`, arranged near-square (Fig. 8's comparison rule).
+/// Errors when the strategy has no PE design or the budget fits no PE.
+[[nodiscard]] Result<AcceleratorConfig> make_iso_area_config(
+    const quant::StrategySpec& spec, double pe_area_budget_um2,
+    double dram_gbps = hw::kDramBandwidthGBs);
+
+/// Name-based convenience; aborts with a message on bad input.
 [[nodiscard]] AcceleratorConfig iso_area_config(const std::string& strategy,
                                                 double pe_area_budget_um2,
                                                 double dram_gbps =

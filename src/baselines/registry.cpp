@@ -1,62 +1,22 @@
 #include "baselines/registry.hpp"
 
-#include <cassert>
-
-#include "baselines/quant_baselines.hpp"
+#include "bbal/registry.hpp"
 
 namespace bbal::baselines {
-namespace {
-
-bool parse_bbfp(const std::string& name, int& m, int& o) {
-  if (name.rfind("BBFP(", 0) != 0) return false;
-  const auto comma = name.find(',');
-  if (comma == std::string::npos) return false;
-  m = std::stoi(name.substr(5, comma - 5));
-  o = std::stoi(name.substr(comma + 1));
-  return true;
-}
-
-}  // namespace
 
 std::unique_ptr<llm::MatmulBackend> make_matmul_backend(
     const std::string& name) {
-  if (name == "FP32" || name == "FP16")
-    return std::make_unique<llm::Fp32MatmulBackend>();
-  if (name == "Oltron") return std::make_unique<OltronBackend>();
-  if (name == "Olive" || name == "Oliver")
-    return std::make_unique<OliveBackend>();
-  if (name == "OmniQuant" || name == "Omniquant")
-    return std::make_unique<OmniquantBackend>();
-  if (name.rfind("INT", 0) == 0) {
-    const int bits = std::stoi(name.substr(3));
-    return std::make_unique<IntQuantBackend>(bits, bits);
-  }
-  int m = 0;
-  int o = 0;
-  if (parse_bbfp(name, m, o))
-    return llm::make_block_backend(quant::BlockFormat::bbfp(m, o));
-  if (name.rfind("BFP", 0) == 0)
-    return llm::make_block_backend(
-        quant::BlockFormat::bfp(std::stoi(name.substr(3))));
-  assert(false && "unknown strategy name");
-  return std::make_unique<llm::Fp32MatmulBackend>();
+  return BackendRegistry::instance().make_matmul(name).expect(
+      "baselines::make_matmul_backend");
 }
 
 std::vector<std::string> table2_strategies() {
-  return {"FP16",      "Oltron",    "Olive",     "OmniQuant",
-          "BFP6",      "BFP4",      "BBFP(3,1)", "BBFP(4,2)",
-          "BBFP(4,3)", "BBFP(6,3)", "BBFP(6,4)"};
+  return bbal::table2_strategies();
 }
 
 bool is_known_strategy(const std::string& name) {
-  if (name == "FP32" || name == "FP16" || name == "Oltron" ||
-      name == "Olive" || name == "Oliver" || name == "OmniQuant" ||
-      name == "Omniquant")
-    return true;
-  if (name.rfind("INT", 0) == 0 || name.rfind("BFP", 0) == 0) return true;
-  int m = 0;
-  int o = 0;
-  return parse_bbfp(name, m, o);
+  return BackendRegistry::instance().is_known(name) &&
+         quant::StrategySpec::parse(name).value().is_matmul_strategy();
 }
 
 }  // namespace bbal::baselines

@@ -1,5 +1,9 @@
-// Strategy registry: create a matmul backend from its Table II row name.
-// Shared by benches, examples and integration tests.
+// DEPRECATED shim over the unified registry (bbal/registry.hpp).
+//
+// The seed's per-name factory lived here and asserted on unknown names.
+// New code should use bbal::BackendRegistry / bbal::make_matmul_backend,
+// which key off quant::StrategySpec and return error-carrying Results.
+// These wrappers survive one deprecation cycle for out-of-tree callers.
 #pragma once
 
 #include <memory>
@@ -11,14 +15,18 @@
 namespace bbal::baselines {
 
 /// Accepts "FP32", "FP16", "INTn", "Oltron", "Olive", "OmniQuant",
-/// "BFPn", "BBFP(m,o)". Asserts on unknown names.
-[[nodiscard]] std::unique_ptr<llm::MatmulBackend> make_matmul_backend(
+/// "BFPn", "BBFP(m,o)". Aborts (with a message) on unknown names — prefer
+/// bbal::make_matmul_backend, which returns an error instead.
+[[deprecated("use bbal::make_matmul_backend")]] [[nodiscard]]
+std::unique_ptr<llm::MatmulBackend> make_matmul_backend(
     const std::string& name);
 
 /// The strategy rows of Table II, in paper order.
+/// Forwards to bbal::table2_strategies.
 [[nodiscard]] std::vector<std::string> table2_strategies();
 
 /// True if the registry can resolve `name`.
+/// Forwards to bbal::BackendRegistry::is_known.
 [[nodiscard]] bool is_known_strategy(const std::string& name);
 
 }  // namespace bbal::baselines

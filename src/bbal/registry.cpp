@@ -1,0 +1,249 @@
+#include "bbal/registry.hpp"
+
+#include <utility>
+
+#include "baselines/quant_baselines.hpp"
+#include "nl/backends.hpp"
+
+namespace bbal {
+
+using quant::StrategyFamily;
+using quant::StrategySpec;
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_family(StrategyFamily family,
+                                      BackendCapabilities caps,
+                                      MatmulFactory matmul,
+                                      NonlinearFactory nonlinear) {
+  for (auto& [f, entry] : entries_) {
+    if (f == family) {
+      entry = Entry{caps, std::move(matmul), std::move(nonlinear)};
+      return;
+    }
+  }
+  entries_.emplace_back(family,
+                        Entry{caps, std::move(matmul), std::move(nonlinear)});
+}
+
+const BackendRegistry::Entry* BackendRegistry::find(
+    StrategyFamily family) const {
+  for (const auto& [f, entry] : entries_)
+    if (f == family) return &entry;
+  return nullptr;
+}
+
+Result<std::unique_ptr<llm::MatmulBackend>> BackendRegistry::make_matmul(
+    const StrategySpec& spec) const {
+  using R = Result<std::unique_ptr<llm::MatmulBackend>>;
+  const Entry* entry = find(spec.family);
+  if (entry == nullptr)
+    return R::error("no backend registered for " + spec.to_string());
+  if (!entry->matmul)
+    return R::error(spec.to_string() +
+                    " is not a matmul (linear-layer) strategy");
+  return entry->matmul(spec);
+}
+
+Result<std::unique_ptr<llm::MatmulBackend>> BackendRegistry::make_matmul(
+    std::string_view name) const {
+  auto spec = StrategySpec::parse(name);
+  if (!spec.is_ok())
+    return Result<std::unique_ptr<llm::MatmulBackend>>::error(spec.message());
+  return make_matmul(spec.value());
+}
+
+Result<std::unique_ptr<llm::NonlinearBackend>> BackendRegistry::make_nonlinear(
+    const StrategySpec& spec) const {
+  using R = Result<std::unique_ptr<llm::NonlinearBackend>>;
+  const Entry* entry = find(spec.family);
+  if (entry == nullptr)
+    return R::error("no backend registered for " + spec.to_string());
+  if (!entry->nonlinear)
+    return R::error(spec.to_string() + " is not a nonlinear strategy");
+  return entry->nonlinear(spec);
+}
+
+Result<std::unique_ptr<llm::NonlinearBackend>> BackendRegistry::make_nonlinear(
+    std::string_view name) const {
+  auto spec = StrategySpec::parse(name);
+  if (!spec.is_ok())
+    return Result<std::unique_ptr<llm::NonlinearBackend>>::error(
+        spec.message());
+  return make_nonlinear(spec.value());
+}
+
+Result<BackendCapabilities> BackendRegistry::capabilities(
+    const StrategySpec& spec) const {
+  const Entry* entry = find(spec.family);
+  if (entry == nullptr)
+    return Result<BackendCapabilities>::error("no backend registered for " +
+                                              spec.to_string());
+  return entry->caps;
+}
+
+bool BackendRegistry::supports_dynamic_matmul(const StrategySpec& spec) const {
+  const Entry* entry = find(spec.family);
+  return entry != nullptr && entry->caps.dynamic_matmul_quantised;
+}
+
+bool BackendRegistry::has_cost_model(const StrategySpec& spec) const {
+  const Entry* entry = find(spec.family);
+  return entry != nullptr && entry->caps.cost_model;
+}
+
+bool BackendRegistry::is_known(std::string_view name) const {
+  const auto spec = StrategySpec::parse(name);
+  return spec.is_ok() && find(spec.value().family) != nullptr;
+}
+
+// --- Built-in family registrations ------------------------------------------
+
+namespace {
+
+using MatmulPtr = std::unique_ptr<llm::MatmulBackend>;
+using NonlinearPtr = std::unique_ptr<llm::NonlinearBackend>;
+using MatmulR = Result<MatmulPtr>;
+using NonlinearR = Result<NonlinearPtr>;
+
+MatmulR make_block_matmul(const StrategySpec& spec) {
+  auto fmt = spec.block_format();
+  if (!fmt.is_ok()) return MatmulR::error(fmt.message());
+  return MatmulPtr(llm::make_block_backend(fmt.value()));
+}
+
+NonlinearR make_lut_nonlinear(const StrategySpec& spec) {
+  auto fmt = spec.block_format();
+  if (!fmt.is_ok()) return NonlinearR::error(fmt.message());
+  const bool do_softmax = spec.nl_scope != quant::NlScope::kSiluOnly;
+  const bool do_silu = spec.nl_scope != quant::NlScope::kSoftmaxOnly;
+  return NonlinearPtr(std::make_unique<nl::LutNonlinearBackend>(
+      fmt.value(), do_softmax, do_silu));
+}
+
+// FP32 / FP16 (FP16 numerics are modelled as FP32, as in the seed): the
+// reference backends, no quantised dynamic path, FP16 priced by the hw
+// model, FP32 purely functional.
+const BackendRegistrar kFp32(
+    StrategyFamily::kFp32,
+    {.matmul = true, .nonlinear = true, .dynamic_matmul_quantised = false,
+     .cost_model = false},
+    [](const StrategySpec&) -> MatmulR {
+      return MatmulPtr(std::make_unique<llm::Fp32MatmulBackend>());
+    },
+    [](const StrategySpec&) -> NonlinearR {
+      return NonlinearPtr(std::make_unique<llm::Fp32NonlinearBackend>());
+    });
+
+const BackendRegistrar kFp16(
+    StrategyFamily::kFp16,
+    {.matmul = true, .nonlinear = false, .dynamic_matmul_quantised = false,
+     .cost_model = true},
+    [](const StrategySpec&) -> MatmulR {
+      return MatmulPtr(std::make_unique<llm::Fp32MatmulBackend>());
+    },
+    nullptr);
+
+const BackendRegistrar kInt(
+    StrategyFamily::kInt,
+    {.matmul = true, .nonlinear = false, .dynamic_matmul_quantised = true,
+     .cost_model = true},
+    [](const StrategySpec& spec) -> MatmulR {
+      return MatmulPtr(
+          std::make_unique<baselines::IntQuantBackend>(spec.bits, spec.bits));
+    },
+    nullptr);
+
+const BackendRegistrar kBfp(
+    StrategyFamily::kBfp,
+    {.matmul = true, .nonlinear = false, .dynamic_matmul_quantised = true,
+     .cost_model = true},
+    make_block_matmul, nullptr);
+
+const BackendRegistrar kBbfp(
+    StrategyFamily::kBbfp,
+    {.matmul = true, .nonlinear = false, .dynamic_matmul_quantised = true,
+     .cost_model = true},
+    make_block_matmul, nullptr);
+
+const BackendRegistrar kOltron(
+    StrategyFamily::kOltron,
+    {.matmul = true, .nonlinear = false, .dynamic_matmul_quantised = true,
+     .cost_model = true},
+    [](const StrategySpec&) -> MatmulR {
+      return MatmulPtr(std::make_unique<baselines::OltronBackend>());
+    },
+    nullptr);
+
+const BackendRegistrar kOlive(
+    StrategyFamily::kOlive,
+    {.matmul = true, .nonlinear = false, .dynamic_matmul_quantised = true,
+     .cost_model = true},
+    [](const StrategySpec&) -> MatmulR {
+      return MatmulPtr(std::make_unique<baselines::OliveBackend>());
+    },
+    nullptr);
+
+// OmniQuant publishes no PE design, so it carries no cost model.
+const BackendRegistrar kOmniquant(
+    StrategyFamily::kOmniquant,
+    {.matmul = true, .nonlinear = false, .dynamic_matmul_quantised = true,
+     .cost_model = false},
+    [](const StrategySpec&) -> MatmulR {
+      return MatmulPtr(std::make_unique<baselines::OmniquantBackend>());
+    },
+    nullptr);
+
+const BackendRegistrar kLutBbfp(
+    StrategyFamily::kLutBbfp,
+    {.matmul = false, .nonlinear = true, .dynamic_matmul_quantised = false,
+     .cost_model = true},
+    nullptr, make_lut_nonlinear);
+
+const BackendRegistrar kLutBfp(
+    StrategyFamily::kLutBfp,
+    {.matmul = false, .nonlinear = true, .dynamic_matmul_quantised = false,
+     .cost_model = true},
+    nullptr, make_lut_nonlinear);
+
+const BackendRegistrar kPseudoSoftmax(
+    StrategyFamily::kPseudoSoftmax,
+    {.matmul = false, .nonlinear = true, .dynamic_matmul_quantised = false,
+     .cost_model = true},
+    nullptr, [](const StrategySpec& spec) -> NonlinearR {
+      return NonlinearPtr(
+          std::make_unique<nl::PseudoSoftmaxBackend>(spec.bits));
+    });
+
+const BackendRegistrar kBase2(
+    StrategyFamily::kBase2Softmax,
+    {.matmul = false, .nonlinear = true, .dynamic_matmul_quantised = false,
+     .cost_model = true},
+    nullptr, [](const StrategySpec& spec) -> NonlinearR {
+      return NonlinearPtr(std::make_unique<nl::Base2SoftmaxBackend>(spec.bits));
+    });
+
+}  // namespace
+
+// --- Convenience free functions ---------------------------------------------
+
+Result<std::unique_ptr<llm::MatmulBackend>> make_matmul_backend(
+    std::string_view name) {
+  return BackendRegistry::instance().make_matmul(name);
+}
+
+Result<std::unique_ptr<llm::NonlinearBackend>> make_nonlinear_backend(
+    std::string_view name) {
+  return BackendRegistry::instance().make_nonlinear(name);
+}
+
+std::vector<std::string> table2_strategies() {
+  return {"FP16",      "Oltron",    "Olive",     "OmniQuant",
+          "BFP6",      "BFP4",      "BBFP(3,1)", "BBFP(4,2)",
+          "BBFP(4,3)", "BBFP(6,3)", "BBFP(6,4)"};
+}
+
+}  // namespace bbal

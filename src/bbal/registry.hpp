@@ -1,0 +1,112 @@
+// The unified backend registry: one table maps quant::StrategySpec to
+// MatmulBackend and NonlinearBackend factories plus capability metadata.
+// Replaces the seed's two disconnected mechanisms (baselines::
+// make_matmul_backend's if-chain, which asserted on unknown names, and the
+// ad-hoc nl:: backend construction each bench repeated).
+//
+// Factories self-register per StrategyFamily via BackendRegistrar; the
+// built-in families register in registry.cpp. Lookups return error-carrying
+// Results — an unknown or malformed strategy name is a reportable error,
+// never an abort.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "llm/backend.hpp"
+#include "quant/strategy.hpp"
+
+namespace bbal {
+
+/// What a registered strategy family can do — queried by Session and the
+/// benches to decide which axes (accuracy, cost) a strategy supports.
+struct BackendCapabilities {
+  bool matmul = false;     ///< has a linear-layer (MatmulBackend) factory
+  bool nonlinear = false;  ///< has a NonlinearBackend factory
+  /// The matmul backend quantises dynamic activation-by-activation products
+  /// (attention score/context GEMMs) rather than falling back to FP32.
+  bool dynamic_matmul_quantised = false;
+  /// A hardware cost model exists (PE datapath design / nonlinear unit
+  /// cost), so the strategy can drive the accelerator simulator.
+  bool cost_model = false;
+};
+
+class BackendRegistry {
+ public:
+  using MatmulFactory =
+      std::function<Result<std::unique_ptr<llm::MatmulBackend>>(
+          const quant::StrategySpec&)>;
+  using NonlinearFactory =
+      std::function<Result<std::unique_ptr<llm::NonlinearBackend>>(
+          const quant::StrategySpec&)>;
+
+  /// The process-wide registry (built-in families pre-registered).
+  [[nodiscard]] static BackendRegistry& instance();
+
+  /// Register (or replace) the factories for one strategy family.
+  /// Factories may be null when the family lacks that backend kind.
+  void register_family(quant::StrategyFamily family, BackendCapabilities caps,
+                       MatmulFactory matmul, NonlinearFactory nonlinear);
+
+  // --- Factory lookups -----------------------------------------------------
+
+  [[nodiscard]] Result<std::unique_ptr<llm::MatmulBackend>> make_matmul(
+      const quant::StrategySpec& spec) const;
+  [[nodiscard]] Result<std::unique_ptr<llm::MatmulBackend>> make_matmul(
+      std::string_view name) const;
+
+  [[nodiscard]] Result<std::unique_ptr<llm::NonlinearBackend>> make_nonlinear(
+      const quant::StrategySpec& spec) const;
+  [[nodiscard]] Result<std::unique_ptr<llm::NonlinearBackend>> make_nonlinear(
+      std::string_view name) const;
+
+  // --- Capability queries --------------------------------------------------
+
+  [[nodiscard]] Result<BackendCapabilities> capabilities(
+      const quant::StrategySpec& spec) const;
+  /// False (not an error) for unknown specs.
+  [[nodiscard]] bool supports_dynamic_matmul(
+      const quant::StrategySpec& spec) const;
+  [[nodiscard]] bool has_cost_model(const quant::StrategySpec& spec) const;
+  /// True if `name` parses and its family is registered.
+  [[nodiscard]] bool is_known(std::string_view name) const;
+
+ private:
+  struct Entry {
+    BackendCapabilities caps;
+    MatmulFactory matmul;
+    NonlinearFactory nonlinear;
+  };
+  [[nodiscard]] const Entry* find(quant::StrategyFamily family) const;
+
+  std::vector<std::pair<quant::StrategyFamily, Entry>> entries_;
+};
+
+/// Self-registration hook: a namespace-scope BackendRegistrar registers a
+/// family before main() runs.
+struct BackendRegistrar {
+  BackendRegistrar(quant::StrategyFamily family, BackendCapabilities caps,
+                   BackendRegistry::MatmulFactory matmul,
+                   BackendRegistry::NonlinearFactory nonlinear) {
+    BackendRegistry::instance().register_family(
+        family, caps, std::move(matmul), std::move(nonlinear));
+  }
+};
+
+// --- Convenience free functions ---------------------------------------------
+
+/// Create a matmul backend from a strategy name via the global registry.
+[[nodiscard]] Result<std::unique_ptr<llm::MatmulBackend>>
+make_matmul_backend(std::string_view name);
+
+/// Create a nonlinear backend from a strategy name via the global registry.
+[[nodiscard]] Result<std::unique_ptr<llm::NonlinearBackend>>
+make_nonlinear_backend(std::string_view name);
+
+/// The strategy rows of Table II, in paper order.
+[[nodiscard]] std::vector<std::string> table2_strategies();
+
+}  // namespace bbal

@@ -1,0 +1,402 @@
+#include "bbal/session.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "bbal/registry.hpp"
+
+namespace bbal {
+namespace {
+
+/// MatmulBackend decorator that records every GEMM it executes as a
+/// GemmShape, so the accelerator model can replay exactly the workload the
+/// accuracy run performed. Attention fusion flags follow the Fig. 7
+/// convention used by accel::prefill_gemms: dynamic products alternate
+/// score (outputs stay on chip, feeding the nonlinear unit) and context
+/// (activations consumed straight from the unit's buffer) — the order our
+/// transformer issues them in.
+class CapturingMatmul final : public llm::MatmulBackend {
+ public:
+  explicit CapturingMatmul(std::unique_ptr<llm::MatmulBackend> inner)
+      : inner_(std::move(inner)) {}
+
+  int prepare_weights(const llm::Matrix& w, const std::string& tag) override {
+    const int handle = inner_->prepare_weights(w, tag);
+    if (handle >= static_cast<int>(weights_.size()))
+      weights_.resize(static_cast<std::size_t>(handle) + 1);
+    weights_[static_cast<std::size_t>(handle)] = {w.rows(), w.cols(), tag};
+    weight_elements_ += static_cast<std::int64_t>(w.rows()) * w.cols();
+    return handle;
+  }
+
+  void matmul(const llm::Matrix& acts, int weight_handle,
+              llm::Matrix& out) override {
+    const WeightInfo& w = weights_[static_cast<std::size_t>(weight_handle)];
+    gemms_.push_back({acts.rows(), acts.cols(), w.cols, w.tag});
+    inner_->matmul(acts, weight_handle, out);
+  }
+
+  void matmul_dynamic(const llm::Matrix& a, const llm::Matrix& b,
+                      llm::Matrix& out) override {
+    const bool is_score = (dynamic_calls_++ % 2) == 0;
+    gemms_.push_back({a.rows(), a.cols(), b.cols(),
+                      is_score ? "attn_scores" : "attn_context",
+                      /*output_on_chip=*/is_score,
+                      /*acts_on_chip=*/!is_score});
+    inner_->matmul_dynamic(a, b, out);
+  }
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  [[nodiscard]] const std::vector<accel::GemmShape>& captured() const {
+    return gemms_;
+  }
+  [[nodiscard]] std::int64_t weight_elements() const {
+    return weight_elements_;
+  }
+
+ private:
+  struct WeightInfo {
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::string tag;
+  };
+  std::unique_ptr<llm::MatmulBackend> inner_;
+  std::vector<WeightInfo> weights_;
+  std::vector<accel::GemmShape> gemms_;
+  std::int64_t weight_elements_ = 0;
+  std::uint64_t dynamic_calls_ = 0;
+};
+
+/// NonlinearBackend decorator counting softmax/SiLU traffic.
+class CountingNonlinear final : public llm::NonlinearBackend {
+ public:
+  explicit CountingNonlinear(std::unique_ptr<llm::NonlinearBackend> inner)
+      : inner_(std::move(inner)) {}
+
+  void softmax(std::span<float> xs) override {
+    elements_ += static_cast<std::int64_t>(xs.size());
+    inner_->softmax(xs);
+  }
+  void silu(std::span<float> xs) override {
+    elements_ += static_cast<std::int64_t>(xs.size());
+    inner_->silu(xs);
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] std::int64_t elements() const { return elements_; }
+
+ private:
+  std::unique_ptr<llm::NonlinearBackend> inner_;
+  std::int64_t elements_ = 0;
+};
+
+/// Storage bits per weight element under a strategy: the PE design's
+/// equivalent bits when a cost model exists, else full FP32 words.
+double storage_bits_per_element(const quant::StrategySpec& spec) {
+  const Result<hw::DatapathDesign> design = hw::pe_for_spec(spec);
+  if (design.is_ok()) return design.value().equivalent_bits;
+  return 32.0;
+}
+
+void append_json(std::ostringstream& os, const char* key, double v,
+                 bool* first) {
+  if (!*first) os << ", ";
+  *first = false;
+  os << '"' << key << "\": " << v;
+}
+
+}  // namespace
+
+std::shared_ptr<const llm::PreparedModel> prepare_shared(
+    const llm::ModelConfig& config, int eval_tokens) {
+  return std::make_shared<const llm::PreparedModel>(
+      llm::prepare_model(config, eval_tokens));
+}
+
+std::shared_ptr<const llm::PreparedModel> prepare_shared(
+    const std::string& zoo_name, int eval_tokens) {
+  return prepare_shared(llm::config_by_name(zoo_name), eval_tokens);
+}
+
+// --- Builder -----------------------------------------------------------------
+
+Session::Builder& Session::Builder::model(const std::string& zoo_name) {
+  auto config = llm::find_config(zoo_name);
+  if (config.is_ok()) {
+    config_ = std::move(config).value();
+    model_error_.clear();
+  } else {
+    // Surface the lookup failure from build(), like every other error.
+    model_error_ = config.message();
+    config_.reset();
+  }
+  return *this;
+}
+
+Session::Builder& Session::Builder::model(llm::ModelConfig config) {
+  config_ = std::move(config);
+  return *this;
+}
+
+Session::Builder& Session::Builder::prepared(
+    std::shared_ptr<const llm::PreparedModel> model) {
+  prepared_ = std::move(model);
+  return *this;
+}
+
+Session::Builder& Session::Builder::eval_tokens(int tokens) {
+  eval_tokens_ = tokens;
+  return *this;
+}
+
+Session::Builder& Session::Builder::matmul(std::string_view strategy) {
+  matmul_text_ = std::string(strategy);
+  matmul_spec_.reset();
+  return *this;
+}
+
+Session::Builder& Session::Builder::matmul(quant::StrategySpec spec) {
+  matmul_spec_ = spec;
+  return *this;
+}
+
+Session::Builder& Session::Builder::nonlinear(std::string_view strategy) {
+  nonlinear_text_ = std::string(strategy);
+  nonlinear_spec_.reset();
+  return *this;
+}
+
+Session::Builder& Session::Builder::nonlinear(quant::StrategySpec spec) {
+  nonlinear_spec_ = spec;
+  return *this;
+}
+
+Session::Builder& Session::Builder::accelerator(
+    accel::AcceleratorConfig config) {
+  accel_ = std::move(config);
+  iso_area_um2_.reset();
+  return *this;
+}
+
+Session::Builder& Session::Builder::accelerator_iso_area(
+    double pe_area_budget_um2, double dram_gbps) {
+  iso_area_um2_ = pe_area_budget_um2;
+  iso_dram_gbps_ = dram_gbps;
+  accel_.reset();
+  return *this;
+}
+
+Session::Builder& Session::Builder::skip_accuracy() {
+  skip_accuracy_ = true;
+  return *this;
+}
+
+Session::Builder& Session::Builder::workload(
+    std::vector<accel::GemmShape> gemms) {
+  workload_ = std::move(gemms);
+  return *this;
+}
+
+Session::Builder& Session::Builder::workload_prefill(int seq) {
+  prefill_seq_ = seq;
+  return *this;
+}
+
+Session::Builder& Session::Builder::workload_decode(int ctx) {
+  decode_ctx_ = ctx;
+  return *this;
+}
+
+Result<Session> Session::Builder::build() {
+  using R = Result<Session>;
+  if (!model_error_.empty()) return R::error("model: " + model_error_);
+  const BackendRegistry& registry = BackendRegistry::instance();
+
+  // Resolve strategy specs.
+  quant::StrategySpec matmul;
+  if (matmul_spec_) {
+    matmul = *matmul_spec_;
+  } else {
+    auto parsed = quant::StrategySpec::parse(matmul_text_);
+    if (!parsed.is_ok()) return R::error("matmul: " + parsed.message());
+    matmul = parsed.value();
+  }
+  quant::StrategySpec nonlinear;
+  if (nonlinear_spec_) {
+    nonlinear = *nonlinear_spec_;
+  } else {
+    auto parsed = quant::StrategySpec::parse(nonlinear_text_);
+    if (!parsed.is_ok()) return R::error("nonlinear: " + parsed.message());
+    nonlinear = parsed.value();
+  }
+
+  // Capability checks up front, so evaluate() cannot fail on lookups.
+  {
+    const auto caps = registry.capabilities(matmul);
+    if (!caps.is_ok()) return R::error("matmul: " + caps.message());
+    if (!caps.value().matmul)
+      return R::error("matmul: " + matmul.to_string() +
+                      " is not a linear-layer strategy");
+    const auto nl_caps = registry.capabilities(nonlinear);
+    if (!nl_caps.is_ok()) return R::error("nonlinear: " + nl_caps.message());
+    if (!nl_caps.value().nonlinear)
+      return R::error("nonlinear: " + nonlinear.to_string() +
+                      " is not a nonlinear strategy");
+  }
+
+  Session session;
+  session.matmul_ = matmul;
+  session.nonlinear_ = nonlinear;
+  session.skip_accuracy_ = skip_accuracy_;
+  session.eval_tokens_ = eval_tokens_;
+
+  // Model: a shared prepared model wins; a bare config defers the
+  // (expensive) preparation until the first accuracy evaluation.
+  if (prepared_) {
+    session.config_ = prepared_->config;
+    session.prepared_ = std::move(prepared_);
+  } else if (config_) {
+    session.config_ = *config_;
+  } else {
+    return R::error("no model: call model(...) or prepared(...)");
+  }
+
+  // Accelerator: bind the matmul strategy to the cost model.
+  const bool wants_accel = accel_.has_value() || iso_area_um2_.has_value();
+  if (wants_accel) {
+    if (!registry.has_cost_model(matmul))
+      return R::error("accelerator: " + matmul.to_string() +
+                      " has no hardware cost model; drop the accelerator or "
+                      "choose a cost-modelled strategy");
+    if (iso_area_um2_) {
+      auto cfg = accel::make_iso_area_config(matmul, *iso_area_um2_,
+                                             iso_dram_gbps_);
+      if (!cfg.is_ok()) return R::error("accelerator: " + cfg.message());
+      session.accel_ = std::move(cfg).value();
+    } else {
+      accel_->strategy = matmul.to_string();
+      session.accel_ = std::move(*accel_);
+    }
+  }
+
+  // Cost workload overrides.
+  int override_count = 0;
+  if (workload_) ++override_count;
+  if (prefill_seq_) ++override_count;
+  if (decode_ctx_) ++override_count;
+  if (override_count > 1)
+    return R::error(
+        "choose one of workload(), workload_prefill(), workload_decode()");
+  if (workload_) {
+    session.workload_override_ = std::move(*workload_);
+  } else if (prefill_seq_) {
+    session.workload_override_ =
+        accel::prefill_gemms(session.config_, *prefill_seq_);
+  } else if (decode_ctx_) {
+    session.workload_override_ =
+        accel::decode_step_gemms(session.config_, *decode_ctx_);
+  }
+
+  if (skip_accuracy_ && !wants_accel)
+    return R::error("nothing to do: skip_accuracy() with no accelerator");
+  if (skip_accuracy_ && !session.workload_override_)
+    return R::error(
+        "skip_accuracy() needs an explicit workload (workload_prefill / "
+        "workload_decode / workload)");
+
+  return session;
+}
+
+// --- Session -----------------------------------------------------------------
+
+Result<Session::Report> Session::evaluate() {
+  using R = Result<Report>;
+  const BackendRegistry& registry = BackendRegistry::instance();
+
+  Report report;
+  report.model = config_.name;
+  report.matmul_strategy = matmul_;
+  report.nonlinear_strategy = nonlinear_;
+
+  std::int64_t weight_elements = 0;
+  captured_.clear();
+
+  if (!skip_accuracy_) {
+    if (!prepared_) prepared_ = prepare_shared(config_, eval_tokens_);
+    auto matmul_backend = registry.make_matmul(matmul_);
+    if (!matmul_backend.is_ok()) return R::error(matmul_backend.message());
+    auto nl_backend = registry.make_nonlinear(nonlinear_);
+    if (!nl_backend.is_ok()) return R::error(nl_backend.message());
+
+    CapturingMatmul capture(std::move(matmul_backend).value());
+    CountingNonlinear counting(std::move(nl_backend).value());
+
+    report.perplexity = llm::evaluate_ppl(*prepared_, capture, counting);
+    report.fp32_perplexity = prepared_->fp32_ppl;
+    report.has_accuracy = true;
+
+    captured_ = capture.captured();
+    weight_elements = capture.weight_elements();
+    report.nonlinear_elements = counting.elements();
+  }
+
+  const std::vector<accel::GemmShape>& workload =
+      workload_override_ ? *workload_override_ : captured_;
+  report.captured_gemms = captured_.size();
+  report.captured_macs = accel::total_macs(captured_);
+
+  if (accel_) {
+    report.run = accel::simulate_workload(*accel_, workload);
+    report.energy = report.run.energy;
+    report.has_cost = true;
+  }
+
+  // Memory footprint of the registered weights under the strategy's
+  // storage format (FP32 words when no hardware format exists).
+  if (weight_elements == 0) {
+    // Accuracy skipped: size the weights from the model config instead.
+    const llm::ModelConfig& cfg = config_;
+    const std::int64_t d = cfg.d_model;
+    const std::int64_t ff = cfg.d_ff;
+    weight_elements =
+        cfg.n_layers * (4 * d * d + 3 * d * ff) +
+        static_cast<std::int64_t>(cfg.vocab) * d;  // lm_head
+  }
+  report.memory_footprint_bytes =
+      static_cast<double>(weight_elements) *
+      storage_bits_per_element(matmul_) / 8.0;
+
+  return report;
+}
+
+std::string Session::Report::to_json() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\"model\": \"" << model << "\", \"matmul\": \""
+     << matmul_strategy.to_string() << "\", \"nonlinear\": \""
+     << nonlinear_strategy.to_string() << "\"";
+  bool first = false;
+  if (has_accuracy) {
+    append_json(os, "perplexity", perplexity, &first);
+    append_json(os, "fp32_perplexity", fp32_perplexity, &first);
+  }
+  if (has_cost) {
+    append_json(os, "throughput_gops", run.throughput_gops, &first);
+    append_json(os, "seconds", run.seconds, &first);
+    append_json(os, "cycles", run.gemm.cycles, &first);
+    append_json(os, "energy_j", energy.total_j(), &first);
+    append_json(os, "energy_core_j", energy.core_j, &first);
+    append_json(os, "energy_buffer_j", energy.buffer_j, &first);
+    append_json(os, "energy_dram_j", energy.dram_j, &first);
+    append_json(os, "energy_static_j", energy.static_j, &first);
+  }
+  append_json(os, "memory_footprint_bytes", memory_footprint_bytes, &first);
+  append_json(os, "captured_gemms", static_cast<double>(captured_gemms),
+              &first);
+  append_json(os, "captured_macs", static_cast<double>(captured_macs),
+              &first);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace bbal

@@ -1,0 +1,167 @@
+// bbal::Session — the single entry point for accuracy + cost co-simulation.
+//
+// One Session binds a model, a matmul strategy, a nonlinear strategy and
+// (optionally) an accelerator configuration. evaluate() runs the quantised
+// transformer over the model's evaluation stream, capturing the GEMM
+// workload *as it executes*, then replays that workload on the cycle-level
+// accelerator model — so the perplexity and the throughput/energy numbers
+// of a Table II / Fig. 8 cell come from the same forward passes, with none
+// of the per-bench glue the seed repeated 14 times.
+//
+//   auto model = bbal::prepare_shared("Llama-7B", /*eval_tokens=*/320);
+//   auto session = bbal::Session::Builder()
+//                      .prepared(model)
+//                      .matmul("BBFP(4,2)")
+//                      .nonlinear("FP32")
+//                      .accelerator_iso_area(150000.0, 51.2)
+//                      .build();               // Result<Session>
+//   if (!session.is_ok()) { /* session.message() explains why */ }
+//   auto report = session.value().evaluate().expect("evaluate");
+//   // report.perplexity, .run.throughput_gops, .energy.total_j()
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "accel/simulator.hpp"
+#include "accel/workload.hpp"
+#include "common/result.hpp"
+#include "llm/perplexity.hpp"
+#include "quant/strategy.hpp"
+
+namespace bbal {
+
+/// Build + calibrate a model once and share it across many Sessions (a
+/// PreparedModel is by far the most expensive artefact of an evaluation).
+[[nodiscard]] std::shared_ptr<const llm::PreparedModel> prepare_shared(
+    const llm::ModelConfig& config, int eval_tokens = 512);
+[[nodiscard]] std::shared_ptr<const llm::PreparedModel> prepare_shared(
+    const std::string& zoo_name, int eval_tokens = 512);
+
+class Session {
+ public:
+  /// Everything evaluate() produces. Accuracy fields are valid when
+  /// has_accuracy, cost fields when has_cost.
+  struct Report {
+    std::string model;
+    quant::StrategySpec matmul_strategy;
+    quant::StrategySpec nonlinear_strategy;
+
+    bool has_accuracy = false;
+    double perplexity = 0.0;
+    double fp32_perplexity = 0.0;  ///< calibrated baseline on the stream
+
+    bool has_cost = false;
+    accel::RunStats run;            ///< cycles, seconds, GOPS (+ energy)
+    accel::EnergyBreakdown energy;  ///< run.energy, surfaced directly
+    double memory_footprint_bytes = 0.0;  ///< weights under the strategy
+
+    std::size_t captured_gemms = 0;       ///< GEMMs recorded during eval
+    std::int64_t captured_macs = 0;
+    std::int64_t nonlinear_elements = 0;  ///< softmax+SiLU traffic
+
+    /// Flat JSON object (used by tools/record_table2 for BENCH_table2.json).
+    [[nodiscard]] std::string to_json() const;
+  };
+
+  class Builder {
+   public:
+    /// Model by zoo name or full config (Session prepares + calibrates it
+    /// at build; prefer prepared() to share that cost across sessions).
+    Builder& model(const std::string& zoo_name);
+    Builder& model(llm::ModelConfig config);
+    Builder& prepared(std::shared_ptr<const llm::PreparedModel> model);
+    /// Evaluation stream length when the Session prepares its own model.
+    Builder& eval_tokens(int tokens);
+
+    Builder& matmul(std::string_view strategy);
+    Builder& matmul(quant::StrategySpec spec);
+    Builder& nonlinear(std::string_view strategy);
+    Builder& nonlinear(quant::StrategySpec spec);
+
+    /// Attach an accelerator; its strategy field is overwritten with the
+    /// session's matmul strategy (one strategy drives both halves).
+    Builder& accelerator(accel::AcceleratorConfig config);
+    /// Iso-area accelerator (Fig. 8's comparison rule), derived from the
+    /// matmul strategy's PE design at build time.
+    Builder& accelerator_iso_area(double pe_area_budget_um2,
+                                  double dram_gbps = hw::kDramBandwidthGBs);
+
+    /// Skip the perplexity run; cost simulation uses a synthetic workload.
+    Builder& skip_accuracy();
+    /// Explicit cost workload instead of the captured one.
+    Builder& workload(std::vector<accel::GemmShape> gemms);
+    /// Synthetic prefill / decode-step workloads from the model config.
+    Builder& workload_prefill(int seq);
+    Builder& workload_decode(int ctx);
+
+    /// Validate the combination and construct the Session. All errors
+    /// (unknown strategy, missing capability, no model) surface here.
+    [[nodiscard]] Result<Session> build();
+
+   private:
+    std::string model_error_;
+    std::optional<llm::ModelConfig> config_;
+    std::shared_ptr<const llm::PreparedModel> prepared_;
+    int eval_tokens_ = 512;
+    std::string matmul_text_ = "FP32";
+    std::optional<quant::StrategySpec> matmul_spec_;
+    std::string nonlinear_text_ = "FP32";
+    std::optional<quant::StrategySpec> nonlinear_spec_;
+    std::optional<accel::AcceleratorConfig> accel_;
+    std::optional<double> iso_area_um2_;
+    double iso_dram_gbps_ = hw::kDramBandwidthGBs;
+    bool skip_accuracy_ = false;
+    std::optional<std::vector<accel::GemmShape>> workload_;
+    std::optional<int> prefill_seq_;
+    std::optional<int> decode_ctx_;
+  };
+
+  /// Run the co-simulation. Deterministic and repeatable: backends are
+  /// constructed fresh per call. The model is prepared (calibrated) lazily
+  /// on the first accuracy evaluation — cost-only sessions never pay it.
+  [[nodiscard]] Result<Report> evaluate();
+
+  [[nodiscard]] const llm::ModelConfig& model_config() const {
+    return config_;
+  }
+  /// Null until a prepared model is attached or an accuracy run happened.
+  [[nodiscard]] const llm::PreparedModel* prepared_model() const {
+    return prepared_.get();
+  }
+  [[nodiscard]] const quant::StrategySpec& matmul_strategy() const {
+    return matmul_;
+  }
+  [[nodiscard]] const quant::StrategySpec& nonlinear_strategy() const {
+    return nonlinear_;
+  }
+  [[nodiscard]] bool has_accelerator() const { return accel_.has_value(); }
+  [[nodiscard]] const accel::AcceleratorConfig& accelerator() const {
+    return *accel_;
+  }
+  /// GEMM workload captured by the most recent evaluate().
+  [[nodiscard]] const std::vector<accel::GemmShape>& captured_workload()
+      const {
+    return captured_;
+  }
+
+ private:
+  friend class Builder;
+  Session() = default;
+
+  llm::ModelConfig config_;
+  std::shared_ptr<const llm::PreparedModel> prepared_;
+  int eval_tokens_ = 512;
+  quant::StrategySpec matmul_;
+  quant::StrategySpec nonlinear_;
+  std::optional<accel::AcceleratorConfig> accel_;
+  bool skip_accuracy_ = false;
+  std::optional<std::vector<accel::GemmShape>> workload_override_;
+  std::vector<accel::GemmShape> captured_;
+};
+
+}  // namespace bbal

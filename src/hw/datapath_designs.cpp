@@ -221,21 +221,34 @@ DatapathDesign olive_pe() {
   return d;
 }
 
-DatapathDesign pe_for_strategy(const std::string& name) {
-  if (name == "Oltron") return oltron_pe();
-  if (name == "Olive" || name == "Oliver") return olive_pe();
-  if (name == "FP16") return fp16_pe();
-  if (name.rfind("INT", 0) == 0) return int_pe(std::stoi(name.substr(3)));
-  if (name.rfind("BBFP(", 0) == 0) {
-    const auto comma = name.find(',');
-    const int m = std::stoi(name.substr(5, comma - 5));
-    const int o = std::stoi(name.substr(comma + 1));
-    return bbfp_pe(BlockFormat::bbfp(m, o));
+Result<DatapathDesign> pe_for_spec(const quant::StrategySpec& spec) {
+  using R = Result<DatapathDesign>;
+  using quant::StrategyFamily;
+  switch (spec.family) {
+    case StrategyFamily::kOltron:
+      return oltron_pe();
+    case StrategyFamily::kOlive:
+      return olive_pe();
+    case StrategyFamily::kFp16:
+      return fp16_pe();
+    case StrategyFamily::kInt:
+      return int_pe(spec.bits);
+    case StrategyFamily::kBfp:
+    case StrategyFamily::kBbfp: {
+      auto fmt = spec.block_format();
+      if (!fmt.is_ok()) return R::error(fmt.message());
+      return fmt.value().is_bbfp() ? bbfp_pe(fmt.value())
+                                   : bfp_pe(fmt.value());
+    }
+    default:
+      return R::error("no PE design for strategy " + spec.to_string());
   }
-  if (name.rfind("BFP", 0) == 0)
-    return bfp_pe(BlockFormat::bfp(std::stoi(name.substr(3))));
-  assert(false && "unknown strategy name");
-  return int_pe(8);
+}
+
+DatapathDesign pe_for_strategy(const std::string& name) {
+  const quant::StrategySpec spec =
+      quant::StrategySpec::parse(name).expect("pe_for_strategy");
+  return pe_for_spec(spec).expect("pe_for_strategy");
 }
 
 }  // namespace bbal::hw

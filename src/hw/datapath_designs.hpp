@@ -9,8 +9,9 @@
 #include <string>
 
 #include "arith/gates.hpp"
+#include "common/result.hpp"
 #include "hw/tech.hpp"
-#include "quant/format.hpp"
+#include "quant/strategy.hpp"
 
 namespace bbal::hw {
 
@@ -67,8 +68,15 @@ enum class PeVariant { kExponentAdder, kExponentBypass };
 /// Olive: 4-bit core plus outlier-victim pair encode/decode logic.
 [[nodiscard]] DatapathDesign olive_pe();
 
-/// PE design for any named strategy used in Table III / Fig. 8 rows.
-/// Accepts "Oltron", "Olive", "BFPn", "BBFP(m,o)".
+/// PE design for a parsed strategy used in Table III / Fig. 8 rows.
+/// Errors (instead of asserting) for strategies without a published PE
+/// design (FP32, OmniQuant, nonlinear units).
+[[nodiscard]] Result<DatapathDesign> pe_for_spec(
+    const quant::StrategySpec& spec);
+
+/// PE design for any named strategy. Accepts "FP16", "INTn", "Oltron",
+/// "Olive", "BFPn", "BBFP(m,o)"; aborts with a message on unknown names —
+/// prefer pe_for_spec when the name comes from user input.
 [[nodiscard]] DatapathDesign pe_for_strategy(const std::string& name);
 
 }  // namespace bbal::hw

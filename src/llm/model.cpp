@@ -147,13 +147,22 @@ std::vector<ModelConfig> model_zoo() {
   };
 }
 
+Result<ModelConfig> find_config(const std::string& name) {
+  std::string known;
+  for (const ModelConfig& c : model_zoo()) {
+    if (c.name == name) return c;
+    known += (known.empty() ? "" : ", ") + c.name;
+  }
+  for (const ModelConfig& c : nonlinear_zoo()) {
+    if (c.name == name) return c;
+    known += ", " + c.name;
+  }
+  return Result<ModelConfig>::error("unknown model \"" + name +
+                                    "\" (known: " + known + ")");
+}
+
 ModelConfig config_by_name(const std::string& name) {
-  for (const ModelConfig& c : model_zoo())
-    if (c.name == name) return c;
-  for (const ModelConfig& c : nonlinear_zoo())
-    if (c.name == name) return c;
-  assert(false && "unknown model name");
-  return model_zoo().front();
+  return find_config(name).expect("config_by_name");
 }
 
 std::vector<ModelConfig> nonlinear_zoo() {

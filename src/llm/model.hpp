@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "llm/tensor.hpp"
 
 namespace bbal::llm {
@@ -65,7 +66,11 @@ struct TransformerWeights {
 /// paper's FP16 PPL as calibration target.
 [[nodiscard]] std::vector<ModelConfig> model_zoo();
 
-/// Zoo subsets used by cheaper benches.
+/// Zoo lookup across model_zoo() and nonlinear_zoo(); unknown names are a
+/// reportable error (listing the known names), not an abort.
+[[nodiscard]] Result<ModelConfig> find_config(const std::string& name);
+
+/// Literal-name convenience; aborts with a message on unknown names.
 [[nodiscard]] ModelConfig config_by_name(const std::string& name);
 
 /// Nonlinear-study models of Table IV: Llama-7B, Llama2-7B, Llama3-8B

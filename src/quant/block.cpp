@@ -48,14 +48,18 @@ double EncodedBlock::decode(std::size_t i) const {
   return e.negative ? -mag : mag;
 }
 
-void EncodedBlock::decode_all(std::span<double> out) const {
-  assert(out.size() == elems.size());
+Status EncodedBlock::decode_all(std::span<double> out) const {
+  if (out.size() != elems.size())
+    return Status::error("decode_all: span size " +
+                         std::to_string(out.size()) + " != block size " +
+                         std::to_string(elems.size()));
   for (std::size_t i = 0; i < elems.size(); ++i) out[i] = decode(i);
+  return Status::ok();
 }
 
 std::vector<double> EncodedBlock::decode_all() const {
   std::vector<double> out(elems.size());
-  decode_all(std::span<double>(out));
+  decode_all(std::span<double>(out)).expect("EncodedBlock::decode_all");
   return out;
 }
 
@@ -68,7 +72,7 @@ std::size_t EncodedBlock::flag_count() const {
 EncodedBlock encode_block(std::span<const double> values,
                           const BlockFormat& fmt) {
   assert(!values.empty());
-  fmt.validate();
+  fmt.validate().expect("encode_block");
 
   EncodedBlock block;
   block.format = fmt;
@@ -139,7 +143,7 @@ void quantise(std::span<const double> values, const BlockFormat& fmt,
   for (std::size_t start = 0; start < values.size(); start += bs) {
     const std::size_t len = std::min(bs, values.size() - start);
     const EncodedBlock block = encode_block(values.subspan(start, len), fmt);
-    block.decode_all(out.subspan(start, len));
+    block.decode_all(out.subspan(start, len)).expect("quantise");
   }
 }
 
@@ -162,7 +166,7 @@ void quantise(std::span<const float> values, const BlockFormat& fmt,
       buf[i] = static_cast<double>(values[start + i]);
     const EncodedBlock block =
         encode_block(std::span<const double>(buf.data(), len), fmt);
-    block.decode_all(std::span<double>(qbuf.data(), len));
+    block.decode_all(std::span<double>(qbuf.data(), len)).expect("quantise");
     for (std::size_t i = 0; i < len; ++i)
       out[start + i] = static_cast<float>(qbuf[i]);
   }

@@ -29,8 +29,9 @@ struct EncodedBlock {
 
   /// Decode element `i` back to a real value.
   [[nodiscard]] double decode(std::size_t i) const;
-  /// Decode the whole block; `out.size()` must equal `elems.size()`.
-  void decode_all(std::span<double> out) const;
+  /// Decode the whole block. Errors when `out.size() != elems.size()`
+  /// instead of trusting the caller.
+  [[nodiscard]] Status decode_all(std::span<double> out) const;
   [[nodiscard]] std::vector<double> decode_all() const;
 
   /// Number of flagged (high-group) elements — bit-level sparsity metric.

@@ -4,8 +4,9 @@
 // gate-level cost models and memory accounting all consume a BlockFormat.
 #pragma once
 
-#include <cassert>
 #include <string>
+
+#include "common/result.hpp"
 
 namespace bbal::quant {
 
@@ -36,34 +37,62 @@ struct BlockFormat {
   /// +1 its "Max-1"; +shift_distance() degenerates to plain max alignment.
   int strategy_delta = 0;
 
-  [[nodiscard]] static BlockFormat bfp(int m, int block = 32) {
+  /// Checked constructors: validate the parameters and return an error
+  /// instead of aborting. Prefer these when the (m, o) values come from
+  /// user input (strategy strings, CLI args).
+  [[nodiscard]] static Result<BlockFormat> make_bfp(int m, int block = 32) {
     BlockFormat f;
     f.kind = Kind::kBfp;
     f.mantissa_bits = m;
     f.overlap_bits = 0;
     f.block_size = block;
-    f.validate();
+    if (const Status s = f.validate(); !s.is_ok())
+      return Result<BlockFormat>::error(s.message());
     return f;
   }
 
-  [[nodiscard]] static BlockFormat bbfp(int m, int o, int block = 32) {
+  [[nodiscard]] static Result<BlockFormat> make_bbfp(int m, int o,
+                                                     int block = 32) {
     BlockFormat f;
     f.kind = Kind::kBbfp;
     f.mantissa_bits = m;
     f.overlap_bits = o;
     f.block_size = block;
-    f.validate();
+    if (const Status s = f.validate(); !s.is_ok())
+      return Result<BlockFormat>::error(s.message());
     return f;
   }
 
-  void validate() const {
-    assert(mantissa_bits >= 2 && mantissa_bits <= 24);
-    assert(block_size >= 1);
-    assert(exponent_bits >= 1 && exponent_bits <= 8);
-    assert(source_precision >= mantissa_bits || kind == Kind::kBbfp ||
-           source_precision >= 2);
-    if (kind == Kind::kBbfp)
-      assert(overlap_bits >= 0 && overlap_bits < mantissa_bits);
+  /// Convenience constructors for literal parameters; abort with a message
+  /// on invalid input (use make_bfp/make_bbfp to handle errors).
+  [[nodiscard]] static BlockFormat bfp(int m, int block = 32) {
+    return make_bfp(m, block).expect("BlockFormat::bfp");
+  }
+
+  [[nodiscard]] static BlockFormat bbfp(int m, int o, int block = 32) {
+    return make_bbfp(m, o, block).expect("BlockFormat::bbfp");
+  }
+
+  [[nodiscard]] Status validate() const {
+    if (mantissa_bits < 2 || mantissa_bits > 24)
+      return Status::error("mantissa_bits " + std::to_string(mantissa_bits) +
+                           " out of range [2, 24]");
+    if (block_size < 1)
+      return Status::error("block_size " + std::to_string(block_size) +
+                           " must be >= 1");
+    if (exponent_bits < 1 || exponent_bits > 8)
+      return Status::error("exponent_bits " + std::to_string(exponent_bits) +
+                           " out of range [1, 8]");
+    if (source_precision < mantissa_bits && kind != Kind::kBbfp &&
+        source_precision < 2)
+      return Status::error("source_precision " +
+                           std::to_string(source_precision) + " too small");
+    if (kind == Kind::kBbfp &&
+        (overlap_bits < 0 || overlap_bits >= mantissa_bits))
+      return Status::error(
+          "overlap_bits " + std::to_string(overlap_bits) +
+          " out of range [0, m) for m = " + std::to_string(mantissa_bits));
+    return Status::ok();
   }
 
   /// d = m - o: how far the shared exponent sits below the block maximum,

@@ -60,7 +60,8 @@ class BitReader {
 /// kZeroBlockExponent maps to the all-zero code.
 constexpr int kExponentBias = 15;
 
-std::uint64_t encode_exponent(int shared_exponent, int exponent_bits) {
+std::uint64_t encode_exponent(int shared_exponent,
+                              [[maybe_unused]] int exponent_bits) {
   if (shared_exponent == kZeroBlockExponent) return 0;
   const std::int64_t biased = shared_exponent + kExponentBias + 1;
   assert(biased > 0 && biased <= static_cast<std::int64_t>(

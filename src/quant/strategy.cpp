@@ -1,0 +1,303 @@
+#include "quant/strategy.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace bbal::quant {
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// Parse a non-negative integer covering the whole of `s`.
+bool parse_int(std::string_view s, int& out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size() && out >= 0;
+}
+
+/// Split "NAME(<a>)" or "NAME(<a>,<b>)"; `args` empty when no parens.
+Status split_args(std::string_view text, std::string_view& head,
+                  std::vector<int>& args) {
+  const auto open = text.find('(');
+  if (open == std::string_view::npos) {
+    head = text;
+    return Status::ok();
+  }
+  if (text.back() != ')')
+    return Status::error("missing ')' in \"" + std::string(text) + "\"");
+  head = text.substr(0, open);
+  std::string_view inner = text.substr(open + 1, text.size() - open - 2);
+  while (!inner.empty()) {
+    const auto comma = inner.find(',');
+    const std::string_view tok = inner.substr(0, comma);
+    int v = 0;
+    if (!parse_int(tok, v))
+      return Status::error("bad integer \"" + std::string(tok) + "\" in \"" +
+                           std::string(text) + "\"");
+    args.push_back(v);
+    if (comma == std::string_view::npos) break;
+    inner = inner.substr(comma + 1);
+  }
+  return Status::ok();
+}
+
+Status check_arity(std::string_view text, const std::vector<int>& args,
+                   std::size_t lo, std::size_t hi) {
+  if (args.size() >= lo && args.size() <= hi) return Status::ok();
+  return Status::error("wrong number of parameters in \"" +
+                       std::string(text) + "\"");
+}
+
+std::string scope_suffix(NlScope scope) {
+  switch (scope) {
+    case NlScope::kSoftmaxOnly:
+      return "/softmax";
+    case NlScope::kSiluOnly:
+      return "/silu";
+    case NlScope::kBoth:
+      break;
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<StrategySpec> StrategySpec::parse(std::string_view text) {
+  using R = Result<StrategySpec>;
+  if (text.empty()) return R::error("empty strategy name");
+
+  const std::string_view original = text;
+  StrategySpec spec;
+
+  // Optional nonlinear routing suffix.
+  if (const auto slash = text.rfind('/'); slash != std::string_view::npos) {
+    const std::string tail = lower(text.substr(slash + 1));
+    if (tail == "softmax")
+      spec.nl_scope = NlScope::kSoftmaxOnly;
+    else if (tail == "silu")
+      spec.nl_scope = NlScope::kSiluOnly;
+    else
+      return R::error("unknown routing suffix \"/" + tail + "\" in \"" +
+                      std::string(text) + "\"");
+    text = text.substr(0, slash);
+  }
+
+  std::string_view head;
+  std::vector<int> args;
+  if (const Status s = split_args(text, head, args); !s.is_ok())
+    return R::error(s.message());
+  const std::string key = lower(head);
+
+  // The routing suffix only makes sense on nonlinear strategies.
+  auto check_scope = [&](const StrategySpec& s) -> Status {
+    if (s.nl_scope != NlScope::kBoth && !s.is_nonlinear_strategy())
+      return Status::error("routing suffix not allowed on matmul strategy \"" +
+                           std::string(original) + "\"");
+    return Status::ok();
+  };
+
+  auto block_spec = [&](StrategyFamily family, int m, int o) -> R {
+    spec.family = family;
+    spec.mantissa_bits = m;
+    spec.overlap_bits = o;
+    // Validate through the checked BlockFormat constructor so parse errors
+    // and format errors share one vocabulary.
+    const bool bbfp_like = family == StrategyFamily::kBbfp ||
+                           family == StrategyFamily::kLutBbfp;
+    const Result<BlockFormat> fmt =
+        bbfp_like ? BlockFormat::make_bbfp(m, o, spec.block_size)
+                  : BlockFormat::make_bfp(m, spec.block_size);
+    if (!fmt.is_ok())
+      return R::error("\"" + std::string(text) + "\": " + fmt.message());
+    if (const Status s = check_scope(spec); !s.is_ok())
+      return R::error(s.message());
+    return spec;
+  };
+
+  if (key == "fp32") {
+    spec.family = StrategyFamily::kFp32;
+  } else if (key == "fp16") {
+    spec.family = StrategyFamily::kFp16;
+  } else if (key == "oltron") {
+    spec.family = StrategyFamily::kOltron;
+  } else if (key == "olive" || key == "oliver") {
+    spec.family = StrategyFamily::kOlive;
+  } else if (key == "omniquant") {
+    spec.family = StrategyFamily::kOmniquant;
+  } else if (key == "pseudosoftmax") {
+    if (const Status s = check_arity(text, args, 0, 1); !s.is_ok())
+      return R::error(s.message());
+    spec.family = StrategyFamily::kPseudoSoftmax;
+    spec.bits = args.empty() ? 3 : args[0];
+  } else if (key == "base2highprec" || key == "base2") {
+    if (const Status s = check_arity(text, args, 0, 1); !s.is_ok())
+      return R::error(s.message());
+    spec.family = StrategyFamily::kBase2Softmax;
+    spec.bits = args.empty() ? 27 : args[0];
+  } else if (key == "bbfp-lut") {
+    if (const Status s = check_arity(text, args, 0, 2); !s.is_ok())
+      return R::error(s.message());
+    if (args.size() == 1)
+      return R::error("BBFP-LUT needs (m,o), got one parameter in \"" +
+                      std::string(text) + "\"");
+    return block_spec(StrategyFamily::kLutBbfp, args.empty() ? 10 : args[0],
+                      args.empty() ? 5 : args[1]);
+  } else if (key == "bfp-lut") {
+    if (const Status s = check_arity(text, args, 0, 1); !s.is_ok())
+      return R::error(s.message());
+    return block_spec(StrategyFamily::kLutBfp, args.empty() ? 10 : args[0],
+                      0);
+  } else if (key == "bbfp") {
+    if (const Status s = check_arity(text, args, 2, 2); !s.is_ok())
+      return R::error(s.message());
+    return block_spec(StrategyFamily::kBbfp, args[0], args[1]);
+  } else if (key.rfind("int", 0) == 0 && key.size() > 3) {
+    int bits = 0;
+    if (!parse_int(std::string_view(key).substr(3), bits) || bits < 2 ||
+        bits > 16)
+      return R::error("bad INT bit width in \"" + std::string(text) + "\"");
+    spec.family = StrategyFamily::kInt;
+    spec.bits = bits;
+  } else if (key.rfind("bfp", 0) == 0 && key.size() > 3) {
+    int m = 0;
+    if (!parse_int(std::string_view(key).substr(3), m))
+      return R::error("bad BFP mantissa width in \"" + std::string(text) +
+                      "\"");
+    return block_spec(StrategyFamily::kBfp, m, 0);
+  } else {
+    return R::error("unknown strategy \"" + std::string(text) + "\"");
+  }
+
+  if (!args.empty() &&
+      (spec.family == StrategyFamily::kFp32 ||
+       spec.family == StrategyFamily::kFp16 ||
+       spec.family == StrategyFamily::kInt ||
+       spec.family == StrategyFamily::kOltron ||
+       spec.family == StrategyFamily::kOlive ||
+       spec.family == StrategyFamily::kOmniquant))
+    return R::error("\"" + std::string(text) +
+                    "\" does not take parameters");
+  if (const Status s = check_scope(spec); !s.is_ok())
+    return R::error(s.message());
+  return spec;
+}
+
+std::string StrategySpec::to_string() const {
+  switch (family) {
+    case StrategyFamily::kFp32:
+      return "FP32";
+    case StrategyFamily::kFp16:
+      return "FP16";
+    case StrategyFamily::kInt:
+      return "INT" + std::to_string(bits);
+    case StrategyFamily::kBfp:
+      return "BFP" + std::to_string(mantissa_bits);
+    case StrategyFamily::kBbfp:
+      return "BBFP(" + std::to_string(mantissa_bits) + "," +
+             std::to_string(overlap_bits) + ")";
+    case StrategyFamily::kOltron:
+      return "Oltron";
+    case StrategyFamily::kOlive:
+      return "Olive";
+    case StrategyFamily::kOmniquant:
+      return "OmniQuant";
+    case StrategyFamily::kLutBbfp:
+      return "BBFP-LUT(" + std::to_string(mantissa_bits) + "," +
+             std::to_string(overlap_bits) + ")" + scope_suffix(nl_scope);
+    case StrategyFamily::kLutBfp:
+      return "BFP-LUT(" + std::to_string(mantissa_bits) + ")" +
+             scope_suffix(nl_scope);
+    case StrategyFamily::kPseudoSoftmax:
+      return "PseudoSoftmax(" + std::to_string(bits) + ")" +
+             scope_suffix(nl_scope);
+    case StrategyFamily::kBase2Softmax:
+      return "Base2HighPrec(" + std::to_string(bits) + ")" +
+             scope_suffix(nl_scope);
+  }
+  return "?";
+}
+
+bool StrategySpec::is_block_format() const {
+  return family == StrategyFamily::kBfp || family == StrategyFamily::kBbfp ||
+         family == StrategyFamily::kLutBfp ||
+         family == StrategyFamily::kLutBbfp;
+}
+
+Result<BlockFormat> StrategySpec::block_format() const {
+  if (!is_block_format())
+    return Result<BlockFormat>::error("strategy " + to_string() +
+                                      " has no block format");
+  if (family == StrategyFamily::kBbfp || family == StrategyFamily::kLutBbfp)
+    return BlockFormat::make_bbfp(mantissa_bits, overlap_bits, block_size);
+  return BlockFormat::make_bfp(mantissa_bits, block_size);
+}
+
+bool StrategySpec::is_matmul_strategy() const {
+  switch (family) {
+    case StrategyFamily::kFp32:
+    case StrategyFamily::kFp16:
+    case StrategyFamily::kInt:
+    case StrategyFamily::kBfp:
+    case StrategyFamily::kBbfp:
+    case StrategyFamily::kOltron:
+    case StrategyFamily::kOlive:
+    case StrategyFamily::kOmniquant:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool StrategySpec::is_nonlinear_strategy() const {
+  switch (family) {
+    case StrategyFamily::kFp32:
+    case StrategyFamily::kLutBfp:
+    case StrategyFamily::kLutBbfp:
+    case StrategyFamily::kPseudoSoftmax:
+    case StrategyFamily::kBase2Softmax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+StrategySpec StrategySpec::fp32() { return StrategySpec{}; }
+
+StrategySpec StrategySpec::bfp(int m) {
+  StrategySpec s;
+  s.family = StrategyFamily::kBfp;
+  s.mantissa_bits = m;
+  return s;
+}
+
+StrategySpec StrategySpec::bbfp(int m, int o) {
+  StrategySpec s;
+  s.family = StrategyFamily::kBbfp;
+  s.mantissa_bits = m;
+  s.overlap_bits = o;
+  return s;
+}
+
+StrategySpec StrategySpec::from_format(const BlockFormat& fmt) {
+  StrategySpec s;
+  s.family = fmt.is_bbfp() ? StrategyFamily::kBbfp : StrategyFamily::kBfp;
+  s.mantissa_bits = fmt.mantissa_bits;
+  s.overlap_bits = fmt.overlap_bits;
+  s.block_size = fmt.block_size;
+  return s;
+}
+
+StrategySpec spec_of(std::string_view text) {
+  return StrategySpec::parse(text).expect("spec_of");
+}
+
+}  // namespace bbal::quant

@@ -1,0 +1,92 @@
+// Structured strategy descriptions: every quantisation / nonlinear-unit
+// strategy the paper names ("FP32", "INT8", "BFP4", "BBFP(4,2)", "Oltron",
+// "BBFP-LUT(10,5)", ...) parses into one StrategySpec, which keys the
+// unified backend registry (bbal/registry.hpp) and the hardware cost
+// models. parse() returns an error-carrying Result instead of asserting;
+// to_string() round-trips: parse(s.to_string()) == s for any valid spec.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "quant/format.hpp"
+
+namespace bbal::quant {
+
+/// Which algorithm family a strategy belongs to. Block families (kBfp,
+/// kBbfp, kLutBfp, kLutBbfp) additionally carry format parameters.
+enum class StrategyFamily {
+  kFp32,           ///< full-precision reference
+  kFp16,           ///< half precision (numerically modelled as FP32)
+  kInt,            ///< symmetric INT-k fake-quant
+  kBfp,            ///< classic block floating point, BFP-m
+  kBbfp,           ///< the paper's bidirectional BFP(m, o)
+  kOltron,         ///< outlier-budget baseline
+  kOlive,          ///< outlier-victim-pair baseline
+  kOmniquant,      ///< clip-search baseline
+  kLutBbfp,        ///< BBFP LUT nonlinear unit (Section IV.B)
+  kLutBfp,         ///< BFP LUT nonlinear unit (Table IV ablation)
+  kPseudoSoftmax,  ///< [32] power-of-two pseudo-softmax
+  kBase2Softmax,   ///< [33] base-2 high-precision softmax
+};
+
+/// For nonlinear strategies: which of the two transformer nonlinearities
+/// route through the unit (Table IV's "Softmax Only" / "SILU Only" rows).
+enum class NlScope { kBoth, kSoftmaxOnly, kSiluOnly };
+
+struct StrategySpec {
+  StrategyFamily family = StrategyFamily::kFp32;
+  /// INT: quantiser bits. PseudoSoftmax: fraction bits. Base2: fixed bits.
+  int bits = 0;
+  /// Block families: stored mantissa width m.
+  int mantissa_bits = 0;
+  /// kBbfp / kLutBbfp: window overlap o.
+  int overlap_bits = 0;
+  /// Elements per shared exponent (block families).
+  int block_size = 32;
+  /// Nonlinear strategies only.
+  NlScope nl_scope = NlScope::kBoth;
+
+  bool operator==(const StrategySpec&) const = default;
+
+  /// Parse any accepted strategy name. Never asserts or throws: unknown or
+  /// malformed names yield an error describing what went wrong.
+  ///
+  /// Grammar (case of the family keyword is accepted loosely):
+  ///   FP32 | FP16 | Oltron | Olive | OmniQuant
+  ///   INT<bits>
+  ///   BFP<m>
+  ///   BBFP(<m>,<o>)
+  ///   BBFP-LUT | BBFP-LUT(<m>,<o>)     default (10,5)
+  ///   BFP-LUT  | BFP-LUT(<m>)          default 10
+  ///   PseudoSoftmax | PseudoSoftmax(<fraction_bits>)   default 3
+  ///   Base2HighPrec | Base2HighPrec(<fixed_bits>)      default 27
+  /// Nonlinear strategies accept a routing suffix: "/softmax" or "/silu".
+  [[nodiscard]] static Result<StrategySpec> parse(std::string_view text);
+
+  /// Canonical name; parse(to_string()) reproduces the spec exactly.
+  [[nodiscard]] std::string to_string() const;
+
+  /// True for families parameterised by a BlockFormat.
+  [[nodiscard]] bool is_block_format() const;
+  /// The BlockFormat of a block family (error otherwise).
+  [[nodiscard]] Result<BlockFormat> block_format() const;
+
+  /// True for strategies usable as a matmul (linear-layer) backend.
+  [[nodiscard]] bool is_matmul_strategy() const;
+  /// True for strategies usable as a nonlinear backend.
+  [[nodiscard]] bool is_nonlinear_strategy() const;
+
+  // Convenience constructors for the common programmatic cases.
+  [[nodiscard]] static StrategySpec fp32();
+  [[nodiscard]] static StrategySpec bfp(int m);
+  [[nodiscard]] static StrategySpec bbfp(int m, int o);
+  [[nodiscard]] static StrategySpec from_format(const BlockFormat& fmt);
+};
+
+/// Shorthand: parse-or-abort for literal strategy names in examples and
+/// benches where the name is a compile-time constant.
+[[nodiscard]] StrategySpec spec_of(std::string_view text);
+
+}  // namespace bbal::quant

@@ -71,6 +71,42 @@ TEST(BfpEncode, AllZeroBlock) {
   for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(b.decode(i), 0.0);
 }
 
+TEST(DecodeAll, ZeroBlockDecodesToZeros) {
+  // The kZeroBlockExponent path through decode_all: both the span and the
+  // allocating overload must produce exact zeros (not denormal garbage).
+  const std::vector<double> xs = {0.0, 0.0, 0.0, 0.0};
+  const EncodedBlock b = encode_block(xs, BlockFormat::bbfp(4, 2, 4));
+  ASSERT_EQ(b.shared_exponent, kZeroBlockExponent);
+
+  std::vector<double> out(xs.size(), 123.0);
+  ASSERT_TRUE(b.decode_all(std::span<double>(out)).is_ok());
+  for (const double v : out) EXPECT_EQ(v, 0.0);
+
+  for (const double v : b.decode_all()) EXPECT_EQ(v, 0.0);
+  EXPECT_EQ(b.flag_count(), 0u);
+}
+
+TEST(DecodeAll, RejectsMismatchedSpanWithError) {
+  Rng rng(5);
+  std::vector<double> xs(8);
+  for (auto& x : xs) x = rng.gaussian();
+  const EncodedBlock b = encode_block(xs, BlockFormat::bbfp(4, 2, 8));
+
+  std::vector<double> too_small(4);
+  const Status small = b.decode_all(std::span<double>(too_small));
+  EXPECT_FALSE(small.is_ok());
+  EXPECT_NE(small.message().find("span size"), std::string::npos)
+      << small.message();
+
+  std::vector<double> too_big(16);
+  EXPECT_FALSE(b.decode_all(std::span<double>(too_big)).is_ok());
+
+  std::vector<double> right(8);
+  EXPECT_TRUE(b.decode_all(std::span<double>(right)).is_ok());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    EXPECT_EQ(right[i], b.decode(i));
+}
+
 TEST(BbfpEncode, SharedExponentFollowsEqNine) {
   // BBFP(4,2): E_s = max_e - (m - o) = max_e - 2.
   const std::vector<double> xs = {8.0, 1.0, 0.25, -2.0};  // max_e = 3

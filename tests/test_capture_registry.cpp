@@ -1,8 +1,13 @@
-// Activation capture plumbing and the strategy registry.
+// Activation capture plumbing and the unified backend registry.
 #include <gtest/gtest.h>
 
-#include "baselines/registry.hpp"
+#include "bbal/registry.hpp"
 #include "llm/capture.hpp"
+
+// The deprecated shims are exercised once below, silencing the warning
+// the rest of the codebase is meant to see.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "baselines/registry.hpp"
 
 namespace bbal {
 namespace {
@@ -41,28 +46,67 @@ TEST(Capture, CollectsAllLayerKinds) {
 }
 
 TEST(Registry, ResolvesEveryTableTwoStrategy) {
-  for (const std::string& name : baselines::table2_strategies()) {
-    EXPECT_TRUE(baselines::is_known_strategy(name)) << name;
-    const auto backend = baselines::make_matmul_backend(name);
-    ASSERT_NE(backend, nullptr) << name;
+  const BackendRegistry& registry = BackendRegistry::instance();
+  for (const std::string& name : table2_strategies()) {
+    EXPECT_TRUE(registry.is_known(name)) << name;
+    auto backend = registry.make_matmul(name);
+    ASSERT_TRUE(backend.is_ok()) << name << ": " << backend.message();
+    ASSERT_NE(backend.value(), nullptr) << name;
   }
 }
 
 TEST(Registry, BackendsCarryExpectedNames) {
-  EXPECT_EQ(baselines::make_matmul_backend("BBFP(4,2)")->name(), "BBFP(4,2)");
-  EXPECT_EQ(baselines::make_matmul_backend("BFP6")->name(), "BFP6");
-  EXPECT_EQ(baselines::make_matmul_backend("Oltron")->name(), "Oltron");
-  EXPECT_EQ(baselines::make_matmul_backend("INT8")->name(), "INT8");
-  EXPECT_EQ(baselines::make_matmul_backend("FP32")->name(), "FP32");
+  auto name_of = [](const char* strategy) {
+    return make_matmul_backend(strategy).expect("make_matmul")->name();
+  };
+  EXPECT_EQ(name_of("BBFP(4,2)"), "BBFP(4,2)");
+  EXPECT_EQ(name_of("BFP6"), "BFP6");
+  EXPECT_EQ(name_of("Oltron"), "Oltron");
+  EXPECT_EQ(name_of("INT8"), "INT8");
+  EXPECT_EQ(name_of("FP32"), "FP32");
 }
 
-TEST(Registry, RejectsUnknownNames) {
+TEST(Registry, RejectsUnknownNamesWithErrors) {
+  const BackendRegistry& registry = BackendRegistry::instance();
+  EXPECT_FALSE(registry.is_known("FP4-EXOTIC"));
+  EXPECT_FALSE(registry.is_known(""));
+  const auto backend = registry.make_matmul("FP4-EXOTIC");
+  EXPECT_FALSE(backend.is_ok());
+  EXPECT_FALSE(backend.message().empty());
+}
+
+TEST(Registry, NonlinearFactoriesAndCapabilities) {
+  const BackendRegistry& registry = BackendRegistry::instance();
+  auto lut = registry.make_nonlinear("BBFP-LUT(10,5)");
+  ASSERT_TRUE(lut.is_ok()) << lut.message();
+  EXPECT_EQ(lut.value()->name(), "BBFP(10,5)");
+  auto lut_softmax = registry.make_nonlinear("BBFP-LUT(10,5)/softmax");
+  ASSERT_TRUE(lut_softmax.is_ok()) << lut_softmax.message();
+  EXPECT_EQ(lut_softmax.value()->name(), "BBFP(10,5) softmax-only");
+
+  // A matmul-only strategy is a reportable error as a nonlinear backend.
+  EXPECT_FALSE(registry.make_nonlinear("BBFP(4,2)").is_ok());
+  // And vice versa.
+  EXPECT_FALSE(registry.make_matmul("PseudoSoftmax").is_ok());
+
+  // Capability queries.
+  EXPECT_TRUE(
+      registry.supports_dynamic_matmul(quant::spec_of("BBFP(4,2)")));
+  EXPECT_FALSE(registry.supports_dynamic_matmul(quant::spec_of("FP32")));
+  EXPECT_TRUE(registry.has_cost_model(quant::spec_of("BBFP(4,2)")));
+  EXPECT_FALSE(registry.has_cost_model(quant::spec_of("OmniQuant")));
+}
+
+TEST(RegistryShims, DeprecatedBaselinesApiStillWorks) {
+  for (const std::string& name : baselines::table2_strategies())
+    EXPECT_TRUE(baselines::is_known_strategy(name)) << name;
   EXPECT_FALSE(baselines::is_known_strategy("FP4-EXOTIC"));
-  EXPECT_FALSE(baselines::is_known_strategy(""));
+  EXPECT_EQ(baselines::make_matmul_backend("BBFP(4,2)")->name(),
+            "BBFP(4,2)");
 }
 
 TEST(Registry, RegisteredBackendActuallyQuantises) {
-  const auto backend = baselines::make_matmul_backend("BFP4");
+  const auto backend = make_matmul_backend("BFP4").expect("make_matmul");
   llm::Matrix w(32, 2);
   for (int k = 0; k < 32; ++k) {
     w.at(k, 0) = 0.337f;  // not representable at 4 bits

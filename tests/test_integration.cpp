@@ -1,12 +1,10 @@
 // End-to-end integration: the full stack (synthetic model -> quantised
 // backends -> nonlinear units -> accelerator models) reproducing the
-// paper's headline relationships on a small scale.
+// paper's headline relationships on a small scale — now routed through
+// the bbal::Session co-simulation API.
 #include <gtest/gtest.h>
 
-#include "accel/simulator.hpp"
-#include "baselines/registry.hpp"
-#include "llm/perplexity.hpp"
-#include "nl/backends.hpp"
+#include "bbal/session.hpp"
 #include "nl/unit_cost.hpp"
 
 namespace bbal {
@@ -15,16 +13,26 @@ namespace {
 using namespace bbal::llm;
 
 /// One shared prepared model for the whole suite (expensive to build).
-const PreparedModel& shared_model() {
-  static const PreparedModel prepared = [] {
-    ModelConfig cfg = config_by_name("Llama-7B");
-    return prepare_model(cfg, /*eval_tokens=*/320);
-  }();
+std::shared_ptr<const PreparedModel> shared_model() {
+  static const std::shared_ptr<const PreparedModel> prepared =
+      prepare_shared("Llama-7B", /*eval_tokens=*/320);
   return prepared;
 }
 
+/// Perplexity of one strategy on the shared model, via a Session.
+double session_ppl(const std::string& matmul,
+                   const std::string& nonlinear = "FP32") {
+  auto session = Session::Builder()
+                     .prepared(shared_model())
+                     .matmul(matmul)
+                     .nonlinear(nonlinear)
+                     .build()
+                     .expect("build");
+  return session.evaluate().expect("evaluate").perplexity;
+}
+
 TEST(Integration, BaselineCalibratedToPaperRow) {
-  const PreparedModel& m = shared_model();
+  const PreparedModel& m = *shared_model();
   // Self-PPL vs logit scale has cliffs on short streams; the calibration
   // keeps the closest point, which can sit ~20% off on unlucky seeds.
   EXPECT_NEAR(m.fp32_ppl, m.config.fp_baseline_ppl,
@@ -32,22 +40,16 @@ TEST(Integration, BaselineCalibratedToPaperRow) {
 }
 
 TEST(Integration, WideBbfpTracksBaseline) {
-  const PreparedModel& m = shared_model();
-  const double ppl =
-      evaluate_ppl_block_format(m, quant::BlockFormat::bbfp(6, 4));
+  const double ppl = session_ppl("BBFP(6,4)");
   // Synthetic small models carry more relative error per layer than a
   // trained 7B; the paper-scale claim is checked as a trend in Table II.
-  EXPECT_LT(ppl, m.fp32_ppl * 1.5);
+  EXPECT_LT(ppl, shared_model()->fp32_ppl * 1.5);
 }
 
 TEST(Integration, AccuracyOrderingAcrossWidths) {
-  const PreparedModel& m = shared_model();
-  const double b64 =
-      evaluate_ppl_block_format(m, quant::BlockFormat::bbfp(6, 4));
-  const double b42 =
-      evaluate_ppl_block_format(m, quant::BlockFormat::bbfp(4, 2));
-  const double bfp4 =
-      evaluate_ppl_block_format(m, quant::BlockFormat::bfp(4));
+  const double b64 = session_ppl("BBFP(6,4)");
+  const double b42 = session_ppl("BBFP(4,2)");
+  const double bfp4 = session_ppl("BFP4");
   EXPECT_LE(b64, b42 * 1.05);  // wider mantissa at least as good
   // BBFP beats (or at worst matches) BFP at 4-bit width; the strict
   // per-column comparison holds on 11/12 Table II columns (bench_table2),
@@ -57,58 +59,64 @@ TEST(Integration, AccuracyOrderingAcrossWidths) {
 
 TEST(Integration, BbfpBeatsOltronOnLlamaLikeModel) {
   // Fig. 8 / Table II: outlier budgets break on outlier-rich models.
-  const PreparedModel& m = shared_model();
-  const auto oltron = baselines::make_matmul_backend("Oltron");
-  Fp32NonlinearBackend nl;
-  const double oltron_ppl = evaluate_ppl(m, *oltron, nl);
-  const double bbfp_ppl =
-      evaluate_ppl_block_format(m, quant::BlockFormat::bbfp(4, 2));
-  EXPECT_LT(bbfp_ppl, oltron_ppl);
+  EXPECT_LT(session_ppl("BBFP(4,2)"), session_ppl("Oltron"));
 }
 
 TEST(Integration, OliveCatastrophic) {
-  const PreparedModel& m = shared_model();
-  const auto olive = baselines::make_matmul_backend("Olive");
-  Fp32NonlinearBackend nl;
-  EXPECT_GT(evaluate_ppl(m, *olive, nl), m.fp32_ppl * 5.0);
+  EXPECT_GT(session_ppl("Olive"), shared_model()->fp32_ppl * 5.0);
 }
 
 TEST(Integration, NonlinearBbfpSafeBfpWorse) {
   // Table IV setting: sharp-attention model (the regime where BFP10's
   // max alignment visibly hurts), linear layers FP32.
-  static const PreparedModel prepared =
-      prepare_model(config_by_name("Llama-7B-nl"), 224);
-  Fp32MatmulBackend mm1, mm2;
-  nl::LutNonlinearBackend bbfp(quant::BlockFormat::bbfp(10, 5));
-  nl::LutNonlinearBackend bfp(quant::BlockFormat::bfp(10));
-  const double ppl_bbfp = evaluate_ppl(prepared, mm1, bbfp);
-  const double ppl_bfp = evaluate_ppl(prepared, mm2, bfp);
-  EXPECT_LT(ppl_bbfp, prepared.fp32_ppl * 1.10);
+  static const std::shared_ptr<const PreparedModel> prepared =
+      prepare_shared("Llama-7B-nl", 224);
+  auto ppl_with_nl = [&](const std::string& nl) {
+    auto session = Session::Builder()
+                       .prepared(prepared)
+                       .nonlinear(nl)
+                       .build()
+                       .expect("build");
+    return session.evaluate().expect("evaluate").perplexity;
+  };
+  const double ppl_bbfp = ppl_with_nl("BBFP-LUT(10,5)");
+  const double ppl_bfp = ppl_with_nl("BFP-LUT(10)");
+  EXPECT_LT(ppl_bbfp, prepared->fp32_ppl * 1.10);
   EXPECT_GT(ppl_bfp, ppl_bbfp);
 }
 
 TEST(Integration, IsoAreaThroughputStory) {
-  // The Fig. 8 compute story end to end on the accelerator model.
-  const auto workload = accel::prefill_gemms(shared_model().config, 512);
-  const auto bfp4 = accel::iso_area_config("BFP4", 120000.0, 51.2);
-  const auto b31 = accel::iso_area_config("BBFP(3,1)", 120000.0, 51.2);
-  const double t_bfp4 =
-      accel::simulate_workload(bfp4, workload).throughput_gops;
-  const double t_b31 =
-      accel::simulate_workload(b31, workload).throughput_gops;
-  EXPECT_GT(t_b31, t_bfp4 * 1.08);
+  // The Fig. 8 compute story end to end on the accelerator model:
+  // cost-only sessions, identical fixed prefill workload, iso PE area.
+  auto throughput = [](const std::string& strategy) {
+    auto session = Session::Builder()
+                       .prepared(shared_model())
+                       .matmul(strategy)
+                       .accelerator_iso_area(120000.0, 51.2)
+                       .skip_accuracy()
+                       .workload_prefill(512)
+                       .build()
+                       .expect("build");
+    return session.evaluate().expect("evaluate").run.throughput_gops;
+  };
+  EXPECT_GT(throughput("BBFP(3,1)"), throughput("BFP4") * 1.08);
 }
 
 TEST(Integration, EnergyStory) {
   // Fig. 9: same array, BBFP(3,x) no more expensive than BFP4; BBFP at
   // equal width within a modest premium of BFP.
-  const auto workload = accel::prefill_gemms(shared_model().config, 256);
-  accel::AcceleratorConfig base;
-  base.array_rows = base.array_cols = 16;
-  auto energy = [&](const std::string& s) {
-    accel::AcceleratorConfig cfg = base;
-    cfg.strategy = s;
-    return accel::simulate_workload(cfg, workload).energy.total_j();
+  auto energy = [](const std::string& strategy) {
+    accel::AcceleratorConfig cfg;
+    cfg.array_rows = cfg.array_cols = 16;
+    auto session = Session::Builder()
+                       .prepared(shared_model())
+                       .matmul(strategy)
+                       .accelerator(cfg)
+                       .skip_accuracy()
+                       .workload_prefill(256)
+                       .build()
+                       .expect("build");
+    return session.evaluate().expect("evaluate").energy.total_j();
   };
   EXPECT_LT(energy("BBFP(3,1)"), energy("BFP4") * 1.02);
   EXPECT_LT(energy("BBFP(6,3)"), energy("BFP6") * 1.25);

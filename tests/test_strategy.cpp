@@ -1,0 +1,108 @@
+// StrategySpec parsing, round-tripping and error reporting; plus the
+// BlockFormat::validate() migration off assert().
+#include <gtest/gtest.h>
+
+#include "bbal/registry.hpp"
+#include "quant/strategy.hpp"
+
+namespace bbal::quant {
+namespace {
+
+TEST(StrategySpec, EveryTableTwoStrategyRoundTrips) {
+  for (const std::string& name : bbal::table2_strategies()) {
+    const auto spec = StrategySpec::parse(name);
+    ASSERT_TRUE(spec.is_ok()) << name << ": " << spec.message();
+    // to_string must reproduce an equivalent spec...
+    const auto again = StrategySpec::parse(spec.value().to_string());
+    ASSERT_TRUE(again.is_ok()) << spec.value().to_string();
+    EXPECT_EQ(spec.value(), again.value()) << name;
+    // ...and the registry must agree the name is known.
+    EXPECT_TRUE(BackendRegistry::instance().is_known(name)) << name;
+  }
+}
+
+TEST(StrategySpec, CanonicalNamesMatchPaperSpelling) {
+  EXPECT_EQ(spec_of("FP32").to_string(), "FP32");
+  EXPECT_EQ(spec_of("INT8").to_string(), "INT8");
+  EXPECT_EQ(spec_of("BFP4").to_string(), "BFP4");
+  EXPECT_EQ(spec_of("BBFP(4,2)").to_string(), "BBFP(4,2)");
+  EXPECT_EQ(spec_of("Oltron").to_string(), "Oltron");
+  EXPECT_EQ(spec_of("omniquant").to_string(), "OmniQuant");
+  EXPECT_EQ(spec_of("Oliver").to_string(), "Olive");  // seed-era alias
+  EXPECT_EQ(spec_of("BBFP-LUT").to_string(), "BBFP-LUT(10,5)");
+  EXPECT_EQ(spec_of("BFP-LUT(10)/softmax").to_string(),
+            "BFP-LUT(10)/softmax");
+  EXPECT_EQ(spec_of("PseudoSoftmax").to_string(), "PseudoSoftmax(3)");
+  EXPECT_EQ(spec_of("Base2HighPrec").to_string(), "Base2HighPrec(27)");
+}
+
+TEST(StrategySpec, StructuredFields) {
+  const StrategySpec bbfp = spec_of("BBFP(6,3)");
+  EXPECT_EQ(bbfp.family, StrategyFamily::kBbfp);
+  EXPECT_EQ(bbfp.mantissa_bits, 6);
+  EXPECT_EQ(bbfp.overlap_bits, 3);
+  EXPECT_TRUE(bbfp.is_block_format());
+  EXPECT_TRUE(bbfp.is_matmul_strategy());
+  EXPECT_FALSE(bbfp.is_nonlinear_strategy());
+  const auto fmt = bbfp.block_format();
+  ASSERT_TRUE(fmt.is_ok());
+  EXPECT_TRUE(fmt.value().is_bbfp());
+  EXPECT_EQ(fmt.value().shift_distance(), 3);
+
+  const StrategySpec lut = spec_of("BBFP-LUT(10,5)/silu");
+  EXPECT_EQ(lut.family, StrategyFamily::kLutBbfp);
+  EXPECT_EQ(lut.nl_scope, NlScope::kSiluOnly);
+  EXPECT_FALSE(lut.is_matmul_strategy());
+  EXPECT_TRUE(lut.is_nonlinear_strategy());
+
+  const StrategySpec int8 = spec_of("INT8");
+  EXPECT_EQ(int8.family, StrategyFamily::kInt);
+  EXPECT_EQ(int8.bits, 8);
+  EXPECT_FALSE(int8.is_block_format());
+  EXPECT_FALSE(int8.block_format().is_ok());
+}
+
+TEST(StrategySpec, UnknownNamesErrorInsteadOfCrashing) {
+  for (const char* bad :
+       {"bogus", "", "FP4-EXOTIC", "BBFP(4)", "BBFP(4,2", "BBFP(a,b)",
+        "INTx", "INT1", "BFP", "BBFP(4,2)/gelu", "Oltron(3)", "FP32(1)",
+        "BBFP(1,0)", "BBFP(4,4)", "BFP99",
+        // Routing suffixes only apply to nonlinear strategies.
+        "BBFP(4,2)/softmax", "BFP4/silu", "INT8/softmax"}) {
+    const auto spec = StrategySpec::parse(bad);
+    EXPECT_FALSE(spec.is_ok()) << "\"" << bad << "\" should not parse";
+    EXPECT_FALSE(spec.message().empty()) << bad;
+  }
+}
+
+TEST(StrategySpec, ParseValidatesBlockFormatRanges) {
+  // Overlap must satisfy 0 <= o < m; the error comes from
+  // BlockFormat::validate(), shared with the checked constructors.
+  const auto spec = StrategySpec::parse("BBFP(4,7)");
+  ASSERT_FALSE(spec.is_ok());
+  EXPECT_NE(spec.message().find("overlap_bits"), std::string::npos)
+      << spec.message();
+}
+
+TEST(BlockFormatValidate, ReturnsErrorsNotAsserts) {
+  EXPECT_TRUE(BlockFormat::bfp(4).validate().is_ok());
+  EXPECT_FALSE(BlockFormat::make_bfp(1).is_ok());
+  EXPECT_FALSE(BlockFormat::make_bfp(30).is_ok());
+  EXPECT_FALSE(BlockFormat::make_bbfp(4, 4).is_ok());
+  EXPECT_FALSE(BlockFormat::make_bbfp(4, -1).is_ok());
+  EXPECT_FALSE(BlockFormat::make_bfp(4, 0).is_ok());
+
+  BlockFormat f = BlockFormat::bfp(4);
+  f.exponent_bits = 0;
+  EXPECT_FALSE(f.validate().is_ok());
+}
+
+TEST(StrategySpec, FromFormatRoundTrips) {
+  const BlockFormat fmt = BlockFormat::bbfp(4, 2);
+  const StrategySpec spec = StrategySpec::from_format(fmt);
+  EXPECT_EQ(spec.to_string(), fmt.name());
+  EXPECT_EQ(spec, spec_of(fmt.name()));
+}
+
+}  // namespace
+}  // namespace bbal::quant

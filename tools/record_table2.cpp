@@ -1,0 +1,69 @@
+// Record a Table II baseline through the Session API: perplexity +
+// simulated throughput/energy per strategy, as one JSON file. Future PRs
+// diff BENCH_table2.json against a fresh run to track the perf trajectory.
+//
+// Usage: ./build/tools/record_table2 [out.json]
+// Env:   BBAL_MODEL (default Llama-7B), BBAL_EVAL_TOKENS (default 256)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bbal/registry.hpp"
+#include "bbal/session.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bbal;
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_table2.json";
+  const char* model_env = std::getenv("BBAL_MODEL");
+  const std::string model_name = model_env != nullptr ? model_env : "Llama-7B";
+  const char* tok_env = std::getenv("BBAL_EVAL_TOKENS");
+  const int eval_tokens = tok_env != nullptr ? std::atoi(tok_env) : 256;
+
+  std::fprintf(stderr, "preparing %s (%d eval tokens)...\n",
+               model_name.c_str(), eval_tokens);
+  const auto prepared = prepare_shared(model_name, eval_tokens);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+
+  bool first = true;
+  for (const std::string& strategy : table2_strategies()) {
+    std::fprintf(stderr, "evaluating %s...\n", strategy.c_str());
+    Session::Builder builder;
+    builder.prepared(prepared).matmul(strategy).nonlinear("FP32");
+    // Attach the paper's 16x16 array when the strategy prices a PE design.
+    const auto spec = quant::StrategySpec::parse(strategy);
+    if (spec.is_ok() &&
+        BackendRegistry::instance().has_cost_model(spec.value())) {
+      accel::AcceleratorConfig cfg;
+      cfg.array_rows = cfg.array_cols = 16;
+      builder.accelerator(cfg);
+    }
+    auto session = builder.build();
+    if (!session.is_ok()) {
+      std::fprintf(stderr, "  %s: %s\n", strategy.c_str(),
+                   session.message().c_str());
+      std::fclose(out);
+      return 1;
+    }
+    auto report = session.value().evaluate();
+    if (!report.is_ok()) {
+      std::fprintf(stderr, "  %s: %s\n", strategy.c_str(),
+                   report.message().c_str());
+      std::fclose(out);
+      return 1;
+    }
+    std::fprintf(out, "%s  %s", first ? "" : ",\n",
+                 report.value().to_json().c_str());
+    first = false;
+  }
+  std::fprintf(out, "\n]\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}
