@@ -1,7 +1,8 @@
 // Regenerates Fig. 8: accuracy (average Llama/OPT perplexity) and
 // throughput under iso PE area for every quantisation strategy — each
 // strategy is one Session; perplexity and throughput come from the same
-// evaluate() call on the Llama model.
+// evaluate() call on the Llama model. The whole grid runs as one
+// SweepRunner sweep (BBAL_THREADS-way parallel, deterministic order).
 //
 // Headline claims: BBFP(3,1)/(3,2) ~ Oltron throughput (all 3-bit
 // multipliers) with better accuracy; ~40% faster than BFP4 at similar
@@ -11,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "bbal/session.hpp"
+#include "bbal/sweep.hpp"
 #include "common/table.hpp"
 
 int main() {
@@ -20,12 +21,6 @@ int main() {
   print_banner("Fig. 8: iso-area accuracy vs throughput");
   const char* tok_env = std::getenv("BBAL_EVAL_TOKENS");
   const int eval_tokens = tok_env != nullptr ? std::atoi(tok_env) : 256;
-
-  // Accuracy on one model per family; throughput on a Llama-7B-like
-  // prefill workload under a fixed PE area budget.
-  std::fprintf(stderr, "preparing models...\n");
-  const auto llama = prepare_shared("Llama-7B", eval_tokens);
-  const auto opt = prepare_shared("OPT-6.7B", eval_tokens);
 
   // Dense prefill workload with bandwidth headroom so the comparison is
   // compute-bound — the regime of the paper's iso-area study.
@@ -37,6 +32,34 @@ int main() {
       "BBFP(3,1)", "BBFP(3,2)", "BBFP(4,2)", "BBFP(4,3)",
       "BBFP(6,3)", "BBFP(6,4)", "BBFP(6,5)"};
 
+  // Two items per strategy: accuracy + iso-area throughput on the Llama
+  // model (one evaluate, Fig. 8's rule) and accuracy on the OPT model.
+  // Both models are prepared once by the sweep's shared cache.
+  SweepRunner sweep;
+  sweep.eval_tokens(eval_tokens);
+  for (const std::string& s : strategies) {
+    SweepRunner::Item llama;
+    llama.model = "Llama-7B";
+    llama.matmul = s;
+    llama.iso_area_um2 = pe_budget_um2;
+    llama.iso_dram_gbps = dram_gbps;
+    llama.prefill_seq = 1024;
+    sweep.add(std::move(llama));
+    SweepRunner::Item opt;
+    opt.model = "OPT-6.7B";
+    opt.matmul = s;
+    sweep.add(std::move(opt));
+  }
+
+  std::fprintf(stderr, "sweeping %zu sessions...\n", sweep.size());
+  const SweepRunner::SweepResult result = sweep.run();
+  if (!result.all_ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n", result.first_error().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "sweep: %d threads, %.1fs wall\n", result.threads,
+               result.wall_seconds);
+
   struct Row {
     std::string name;
     double llama_ppl, opt_ppl, gops;
@@ -44,29 +67,14 @@ int main() {
   };
   std::vector<Row> rows;
   double max_gops = 0.0;
-  for (const std::string& s : strategies) {
-    std::fprintf(stderr, "evaluating %s...\n", s.c_str());
-    // Perplexity and iso-area throughput from one call; the fixed prefill
-    // workload keeps every strategy on the same compute-bound footing.
-    auto llama_session = Session::Builder()
-                             .prepared(llama)
-                             .matmul(s)
-                             .accelerator_iso_area(pe_budget_um2, dram_gbps)
-                             .workload_prefill(1024)
-                             .build()
-                             .expect("fig8 session");
-    const auto llama_report =
-        llama_session.evaluate().expect("fig8 evaluate");
-    auto opt_session =
-        Session::Builder().prepared(opt).matmul(s).build().expect(
-            "fig8 session");
-    const auto opt_report = opt_session.evaluate().expect("fig8 evaluate");
-
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    const Session::Report& llama_report = result.reports[2 * i].value();
+    const Session::Report& opt_report = result.reports[2 * i + 1].value();
     Row r;
-    r.name = s;
+    r.name = strategies[i];
     r.llama_ppl = llama_report.perplexity;
     r.opt_ppl = opt_report.perplexity;
-    r.pes = llama_session.accelerator().pe_count();
+    r.pes = llama_report.accelerator_pes;
     r.gops = llama_report.run.throughput_gops;
     max_gops = std::max(max_gops, r.gops);
     rows.push_back(r);

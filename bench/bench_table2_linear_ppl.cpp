@@ -3,16 +3,21 @@
 // block formats). The FP32 row is calibrated to the paper's FP16 row
 // (DESIGN.md substitution #1); every other number is measured.
 //
-// Env: BBAL_EVAL_TOKENS (default 320), BBAL_MODELS (comma list to subset).
+// All strategy x model cells run as one SweepRunner sweep: models are
+// prepared once and shared, cells fan out over the thread pool
+// (BBAL_THREADS, default hardware_concurrency), and results come back in
+// declaration order so the table is identical at any thread count.
+//
+// Env: BBAL_EVAL_TOKENS (default 320), BBAL_MODELS (comma list to subset),
+//      BBAL_THREADS (sweep parallelism).
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "bbal/registry.hpp"
-#include "bbal/session.hpp"
+#include "bbal/sweep.hpp"
 #include "common/table.hpp"
 
 namespace {
@@ -55,19 +60,6 @@ const std::map<std::string, std::vector<double>> kPaper = {
                    10.14, 9.55, 9.36}},
 };
 
-/// One Table II cell through the Session API.
-double eval_strategy(
-    const std::shared_ptr<const llm::PreparedModel>& prepared,
-    const std::string& name) {
-  if (name == "FP16") return prepared->fp32_ppl;
-  auto session = Session::Builder()
-                     .prepared(prepared)
-                     .matmul(name)
-                     .build()
-                     .expect("table2 session");
-  return session.evaluate().expect("table2 evaluate").perplexity;
-}
-
 }  // namespace
 
 int main() {
@@ -88,11 +80,27 @@ int main() {
 
   const std::vector<std::string> strategies = table2_strategies();
 
-  std::map<std::string, std::shared_ptr<const llm::PreparedModel>> prepared;
-  for (const std::string& name : models) {
-    std::fprintf(stderr, "preparing %s...\n", name.c_str());
-    prepared.emplace(name, prepare_shared(name, eval_tokens));
+  // One sweep item per (strategy, model) cell; models are prepared once by
+  // the sweep's shared cache, exactly like the seed's manual prepared map.
+  SweepRunner sweep;
+  sweep.eval_tokens(eval_tokens);
+  for (const std::string& strat : strategies)
+    for (const std::string& model : models) {
+      SweepRunner::Item item;
+      item.model = model;
+      item.matmul = strat;
+      sweep.add(std::move(item));
+    }
+
+  std::fprintf(stderr, "sweeping %zu cells (%zu strategies x %zu models)...\n",
+               sweep.size(), strategies.size(), models.size());
+  const SweepRunner::SweepResult result = sweep.run();
+  if (!result.all_ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n", result.first_error().c_str());
+    return 1;
   }
+  std::fprintf(stderr, "sweep: %zu cells, %d threads, %.1fs wall\n",
+               sweep.size(), result.threads, result.wall_seconds);
 
   std::vector<std::string> header = {"Strategy"};
   for (const auto& m : models) header.push_back(m);
@@ -100,15 +108,15 @@ int main() {
   TextTable paper(header);
 
   std::map<std::string, double> avg_ratio;  // strategy -> mean PPL/FP32
+  std::size_t cell = 0;
   for (const std::string& strat : strategies) {
     std::vector<std::string> row = {strat};
     std::vector<std::string> paper_row = {strat};
     double ratio_acc = 0.0;
     for (const std::string& model : models) {
-      std::fprintf(stderr, "  %s x %s\n", strat.c_str(), model.c_str());
-      const double ppl = eval_strategy(prepared.at(model), strat);
-      row.push_back(TextTable::num(ppl, 2));
-      ratio_acc += ppl / prepared.at(model)->fp32_ppl;
+      const Session::Report& report = result.reports[cell++].value();
+      row.push_back(TextTable::num(report.perplexity, 2));
+      ratio_acc += report.perplexity / report.fp32_perplexity;
       // Paper cell (when the full zoo is selected).
       const auto it = kPaper.find(strat);
       double pv = -1;

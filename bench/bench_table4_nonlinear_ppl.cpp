@@ -1,13 +1,16 @@
 // Regenerates Table IV: perplexity with quantised *nonlinear* units
 // (linear layers stay FP32). BBFP(10,5) must track the FP32 baseline;
 // BFP10 must blow up — the max-alignment failure on nonlinear inputs.
+//
+// All (scheme, model) cells run as one SweepRunner sweep; the FP32 row is
+// the calibrated baseline each report carries (fp32_perplexity), so it
+// costs nothing extra. Env: BBAL_EVAL_TOKENS, BBAL_THREADS.
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "bbal/session.hpp"
+#include "bbal/sweep.hpp"
 #include "common/table.hpp"
 
 int main() {
@@ -29,51 +32,61 @@ int main() {
       "BBFP(10,5) SILU only",  "BBFP(10,5) altogether",
       "BFP10 softmax only",    "BFP10 SILU only",
       "BFP10 altogether"};
+  // Table IV rows as nonlinear strategy names: linear layers stay FP32,
+  // the routing suffix picks which nonlinearity goes through the unit.
+  const std::vector<std::string> nl_strategies = {
+      "BBFP-LUT(10,5)/softmax", "BBFP-LUT(10,5)/silu", "BBFP-LUT(10,5)",
+      "BFP-LUT(10)/softmax",    "BFP-LUT(10)/silu",    "BFP-LUT(10)"};
 
-  std::vector<std::shared_ptr<const PreparedModel>> prepared;
-  for (const ModelConfig& cfg : zoo) {
-    std::fprintf(stderr, "preparing %s...\n", cfg.name.c_str());
-    prepared.push_back(prepare_shared(cfg, eval_tokens));
+  SweepRunner sweep;
+  sweep.eval_tokens(eval_tokens);
+  for (const std::string& nl : nl_strategies)
+    for (const ModelConfig& cfg : zoo) {
+      SweepRunner::Item item;
+      item.config = cfg;
+      item.nonlinear = nl;
+      sweep.add(std::move(item));
+    }
+
+  std::fprintf(stderr, "sweeping %zu cells over %zu models...\n",
+               sweep.size(), zoo.size());
+  const SweepRunner::SweepResult result = sweep.run();
+  if (!result.all_ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n", result.first_error().c_str());
+    return 1;
   }
+  std::fprintf(stderr, "sweep: %d threads, %.1fs wall\n", result.threads,
+               result.wall_seconds);
 
   std::vector<std::string> header = {"Nonlinear scheme"};
   for (const auto& cfg : zoo) header.push_back(cfg.name);
   header.push_back("(paper row)");
   TextTable table(header);
 
-  // Table IV rows as nonlinear strategy names: linear layers stay FP32,
-  // the routing suffix picks which nonlinearity goes through the unit.
-  auto run_row = [&](const std::string& name, int paper_idx,
-                     const std::string& nl_strategy) {
-    std::vector<std::string> row = {name};
-    for (std::size_t i = 0; i < zoo.size(); ++i) {
-      double ppl = 0.0;
-      if (nl_strategy == "FP32") {
-        ppl = prepared[i]->fp32_ppl;
-      } else {
-        auto session = Session::Builder()
-                           .prepared(prepared[i])
-                           .nonlinear(nl_strategy)
-                           .build()
-                           .expect("table4 session");
-        ppl = session.evaluate().expect("table4 evaluate").perplexity;
-      }
-      row.push_back(TextTable::num(ppl, 2));
-    }
+  auto paper_cell = [&](int paper_idx) {
     std::string pstr;
     for (int j = 0; j < 3; ++j)
       pstr += (j != 0 ? " / " : "") + TextTable::num(paper[paper_idx][j], 2);
-    row.push_back(pstr);
-    table.add_row(row);
+    return pstr;
   };
 
-  run_row(row_names[0], 0, "FP32");
-  run_row(row_names[1], 1, "BBFP-LUT(10,5)/softmax");
-  run_row(row_names[2], 2, "BBFP-LUT(10,5)/silu");
-  run_row(row_names[3], 3, "BBFP-LUT(10,5)");
-  run_row(row_names[4], 4, "BFP-LUT(10)/softmax");
-  run_row(row_names[5], 5, "BFP-LUT(10)/silu");
-  run_row(row_names[6], 6, "BFP-LUT(10)");
+  // FP32 row: the calibrated baseline carried by every report.
+  {
+    std::vector<std::string> row = {row_names[0]};
+    for (std::size_t i = 0; i < zoo.size(); ++i)
+      row.push_back(
+          TextTable::num(result.reports[i].value().fp32_perplexity, 2));
+    row.push_back(paper_cell(0));
+    table.add_row(row);
+  }
+  for (std::size_t s = 0; s < nl_strategies.size(); ++s) {
+    std::vector<std::string> row = {row_names[s + 1]};
+    for (std::size_t i = 0; i < zoo.size(); ++i)
+      row.push_back(TextTable::num(
+          result.reports[s * zoo.size() + i].value().perplexity, 2));
+    row.push_back(paper_cell(static_cast<int>(s) + 1));
+    table.add_row(row);
+  }
 
   table.print();
   std::printf(

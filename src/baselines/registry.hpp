@@ -4,6 +4,12 @@
 // New code should use bbal::BackendRegistry / bbal::make_matmul_backend,
 // which key off quant::StrategySpec and return error-carrying Results.
 // These wrappers survive one deprecation cycle for out-of-tree callers.
+//
+// Thread-safety: these functions are stateless forwarders to
+// bbal::BackendRegistry, whose methods are internally synchronised (see
+// the contract in bbal/registry.hpp), so they are safe to call from any
+// thread — including SweepRunner pool threads. The returned backends are
+// single-session objects and are not themselves thread-safe.
 #pragma once
 
 #include <memory>

@@ -11,6 +11,8 @@ using quant::StrategyFamily;
 using quant::StrategySpec;
 
 BackendRegistry& BackendRegistry::instance() {
+  // Magic-static: initialisation is thread-safe (C++11); everything after
+  // that is guarded by mutex_ (see the contract in registry.hpp).
   static BackendRegistry registry;
   return registry;
 }
@@ -19,6 +21,7 @@ void BackendRegistry::register_family(StrategyFamily family,
                                       BackendCapabilities caps,
                                       MatmulFactory matmul,
                                       NonlinearFactory nonlinear) {
+  std::lock_guard<std::mutex> lk(mutex_);
   for (auto& [f, entry] : entries_) {
     if (f == family) {
       entry = Entry{caps, std::move(matmul), std::move(nonlinear)};
@@ -29,22 +32,24 @@ void BackendRegistry::register_family(StrategyFamily family,
                         Entry{caps, std::move(matmul), std::move(nonlinear)});
 }
 
-const BackendRegistry::Entry* BackendRegistry::find(
+std::optional<BackendRegistry::Entry> BackendRegistry::find(
     StrategyFamily family) const {
+  std::lock_guard<std::mutex> lk(mutex_);
   for (const auto& [f, entry] : entries_)
-    if (f == family) return &entry;
-  return nullptr;
+    if (f == family) return entry;
+  return std::nullopt;
 }
 
 Result<std::unique_ptr<llm::MatmulBackend>> BackendRegistry::make_matmul(
     const StrategySpec& spec) const {
   using R = Result<std::unique_ptr<llm::MatmulBackend>>;
-  const Entry* entry = find(spec.family);
-  if (entry == nullptr)
+  const std::optional<Entry> entry = find(spec.family);
+  if (!entry)
     return R::error("no backend registered for " + spec.to_string());
   if (!entry->matmul)
     return R::error(spec.to_string() +
                     " is not a matmul (linear-layer) strategy");
+  // Invoked on the copied functor, outside the registry lock.
   return entry->matmul(spec);
 }
 
@@ -59,8 +64,8 @@ Result<std::unique_ptr<llm::MatmulBackend>> BackendRegistry::make_matmul(
 Result<std::unique_ptr<llm::NonlinearBackend>> BackendRegistry::make_nonlinear(
     const StrategySpec& spec) const {
   using R = Result<std::unique_ptr<llm::NonlinearBackend>>;
-  const Entry* entry = find(spec.family);
-  if (entry == nullptr)
+  const std::optional<Entry> entry = find(spec.family);
+  if (!entry)
     return R::error("no backend registered for " + spec.to_string());
   if (!entry->nonlinear)
     return R::error(spec.to_string() + " is not a nonlinear strategy");
@@ -78,26 +83,26 @@ Result<std::unique_ptr<llm::NonlinearBackend>> BackendRegistry::make_nonlinear(
 
 Result<BackendCapabilities> BackendRegistry::capabilities(
     const StrategySpec& spec) const {
-  const Entry* entry = find(spec.family);
-  if (entry == nullptr)
+  const std::optional<Entry> entry = find(spec.family);
+  if (!entry)
     return Result<BackendCapabilities>::error("no backend registered for " +
                                               spec.to_string());
   return entry->caps;
 }
 
 bool BackendRegistry::supports_dynamic_matmul(const StrategySpec& spec) const {
-  const Entry* entry = find(spec.family);
-  return entry != nullptr && entry->caps.dynamic_matmul_quantised;
+  const std::optional<Entry> entry = find(spec.family);
+  return entry && entry->caps.dynamic_matmul_quantised;
 }
 
 bool BackendRegistry::has_cost_model(const StrategySpec& spec) const {
-  const Entry* entry = find(spec.family);
-  return entry != nullptr && entry->caps.cost_model;
+  const std::optional<Entry> entry = find(spec.family);
+  return entry && entry->caps.cost_model;
 }
 
 bool BackendRegistry::is_known(std::string_view name) const {
   const auto spec = StrategySpec::parse(name);
-  return spec.is_ok() && find(spec.value().family) != nullptr;
+  return spec.is_ok() && find(spec.value().family).has_value();
 }
 
 // --- Built-in family registrations ------------------------------------------

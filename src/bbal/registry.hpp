@@ -8,10 +8,25 @@
 // built-in families register in registry.cpp. Lookups return error-carrying
 // Results — an unknown or malformed strategy name is a reportable error,
 // never an abort.
+//
+// Thread-safety contract: every method of BackendRegistry is safe to call
+// concurrently — SweepRunner evaluates sessions on the thread pool, and
+// each evaluate() resolves its backends through this registry. The entry
+// table is guarded by an internal mutex; factory functors are *copied* out
+// under the lock and invoked outside it, so a slow factory never blocks
+// other lookups and a factory may itself call back into the registry
+// (including register_family) without deadlocking. Registered factories
+// must therefore be safe to copy and to invoke from any thread; the
+// backends they return are single-session objects and are NOT required to
+// be thread-safe themselves. Registration normally happens before main()
+// via BackendRegistrar (single-threaded static init); late registration is
+// permitted and serialised by the same mutex.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -80,8 +95,11 @@ class BackendRegistry {
     MatmulFactory matmul;
     NonlinearFactory nonlinear;
   };
-  [[nodiscard]] const Entry* find(quant::StrategyFamily family) const;
+  /// Copy of the entry for `family` (or nullopt), taken under the mutex so
+  /// callers can use it lock-free afterwards.
+  [[nodiscard]] std::optional<Entry> find(quant::StrategyFamily family) const;
 
+  mutable std::mutex mutex_;  ///< guards entries_ (see contract above)
   std::vector<std::pair<quant::StrategyFamily, Entry>> entries_;
 };
 

@@ -348,6 +348,7 @@ Result<Session::Report> Session::evaluate() {
   if (accel_) {
     report.run = accel::simulate_workload(*accel_, workload);
     report.energy = report.run.energy;
+    report.accelerator_pes = accel_->pe_count();
     report.has_cost = true;
   }
 
@@ -384,6 +385,8 @@ std::string Session::Report::to_json() const {
     append_json(os, "throughput_gops", run.throughput_gops, &first);
     append_json(os, "seconds", run.seconds, &first);
     append_json(os, "cycles", run.gemm.cycles, &first);
+    append_json(os, "accelerator_pes", static_cast<double>(accelerator_pes),
+                &first);
     append_json(os, "energy_j", energy.total_j(), &first);
     append_json(os, "energy_core_j", energy.core_j, &first);
     append_json(os, "energy_buffer_j", energy.buffer_j, &first);

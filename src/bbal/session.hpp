@@ -58,6 +58,7 @@ class Session {
     bool has_cost = false;
     accel::RunStats run;            ///< cycles, seconds, GOPS (+ energy)
     accel::EnergyBreakdown energy;  ///< run.energy, surfaced directly
+    int accelerator_pes = 0;        ///< PE count of the attached accelerator
     double memory_footprint_bytes = 0.0;  ///< weights under the strategy
 
     std::size_t captured_gemms = 0;       ///< GEMMs recorded during eval

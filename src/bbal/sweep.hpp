@@ -1,0 +1,89 @@
+// bbal::SweepRunner — evaluate many (model, matmul-strategy, nonlinear-
+// strategy) combinations concurrently on the process thread pool.
+//
+// This is the engine behind the Table II / Table IV / Fig. 8 sweeps and
+// tools/record_table2: items are declared up front, run() fans them out
+// over common::ThreadPool::global(), and the results come back in
+// *declaration order* regardless of which thread finished first.
+//
+// Guarantees:
+//  - Determinism: reports[i] always corresponds to items[i], and every
+//    report is bit-identical to what a serial Session::evaluate() of the
+//    same item produces (tested in test_session; locked in by the
+//    BENCH_table2.json CI gate at BBAL_THREADS=1/2/N).
+//  - Shared lazy preparation: items naming the same model share one
+//    PreparedModel — the first item to need it calibrates, concurrent
+//    items for the same model wait, later ones reuse. An explicitly
+//    attached `prepared` model bypasses the cache.
+//  - Error isolation: a failing item (unknown strategy, bad combination)
+//    yields an error Result in its slot; the other items still run.
+//
+//   SweepRunner sweep;
+//   sweep.eval_tokens(256);
+//   for (const auto& s : table2_strategies())
+//     sweep.add(SweepRunner::Item{.model = "Llama-7B", .matmul = s});
+//   auto result = sweep.run();
+//   // result.reports[i] pairs with the i-th add(); result.wall_seconds
+//   // and result.threads feed the bench JSON's sweep metadata.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bbal/session.hpp"
+
+namespace bbal {
+
+class SweepRunner {
+ public:
+  /// One cell of the sweep: a model (by zoo name, explicit config, or an
+  /// already-prepared model) under one strategy pair, with an optional
+  /// accelerator attached the same way Session::Builder takes it.
+  struct Item {
+    std::string model;  ///< zoo name; ignored when config/prepared is set
+    std::optional<llm::ModelConfig> config;
+    std::shared_ptr<const llm::PreparedModel> prepared;
+
+    std::string matmul = "FP32";
+    std::string nonlinear = "FP32";
+
+    std::optional<accel::AcceleratorConfig> accelerator;
+    std::optional<double> iso_area_um2;
+    double iso_dram_gbps = hw::kDramBandwidthGBs;
+
+    /// Fixed cost workload instead of the captured one (Fig. 8's rule).
+    std::optional<int> prefill_seq;
+    /// Cost-only item: skip the perplexity run (needs prefill_seq).
+    bool skip_accuracy = false;
+  };
+
+  struct SweepResult {
+    /// One slot per add(), in declaration order.
+    std::vector<Result<Session::Report>> reports;
+    double wall_seconds = 0.0;  ///< run() wall-clock for the whole sweep
+    int threads = 1;            ///< executors the sweep ran with
+    int models_prepared = 0;    ///< distinct models calibrated by the cache
+
+    /// True when every item evaluated cleanly.
+    [[nodiscard]] bool all_ok() const;
+    /// First error message, or "" when all_ok().
+    [[nodiscard]] std::string first_error() const;
+  };
+
+  /// Evaluation stream length for models the sweep prepares itself.
+  SweepRunner& eval_tokens(int tokens);
+  SweepRunner& add(Item item);
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  /// Evaluate every item on ThreadPool::global(). Blocking; reentrant in
+  /// the sense that distinct SweepRunner instances may run concurrently.
+  [[nodiscard]] SweepResult run();
+
+ private:
+  int eval_tokens_ = 512;
+  std::vector<Item> items_;
+};
+
+}  // namespace bbal

@@ -2,9 +2,18 @@
 
 #include <cassert>
 
+#include "common/threadpool.hpp"
 #include "quant/block.hpp"
 
 namespace bbal::llm {
+
+namespace {
+
+// Same inline cutoff as llm::matmul (tensor.cpp): tiny quantisation jobs
+// (decoder single rows, per-head slices) skip the pool dispatch.
+constexpr std::int64_t kParallelMinElements = 1 << 15;
+
+}  // namespace
 
 // --- Fp32MatmulBackend ------------------------------------------------------
 
@@ -39,31 +48,52 @@ std::string BlockQuantMatmulBackend::name() const {
 
 Matrix BlockQuantMatmulBackend::quantise_weights(const Matrix& w) const {
   // Blocks run along K (rows of W) for each output column independently —
-  // exactly the per-column weight vectors the PE array consumes.
+  // exactly the per-column weight vectors the PE array consumes. Columns
+  // are independent, so they tile across the pool.
   Matrix q(w.rows(), w.cols());
   const int bs = weight_fmt_.block_size;
-  std::vector<double> buf(static_cast<std::size_t>(bs));
-  std::vector<double> out(static_cast<std::size_t>(bs));
-  for (int j = 0; j < w.cols(); ++j) {
-    for (int k0 = 0; k0 < w.rows(); k0 += bs) {
-      const int len = std::min(bs, w.rows() - k0);
-      for (int i = 0; i < len; ++i)
-        buf[static_cast<std::size_t>(i)] = w.at(k0 + i, j);
-      quant::quantise(
-          std::span<const double>(buf.data(), static_cast<std::size_t>(len)),
-          weight_fmt_,
-          std::span<double>(out.data(), static_cast<std::size_t>(len)));
-      for (int i = 0; i < len; ++i)
-        q.at(k0 + i, j) = static_cast<float>(out[static_cast<std::size_t>(i)]);
-    }
+  const auto col_chunk = [&](std::int64_t j0, std::int64_t j1) {
+        std::vector<double> buf(static_cast<std::size_t>(bs));
+        std::vector<double> out(static_cast<std::size_t>(bs));
+        for (std::int64_t j64 = j0; j64 < j1; ++j64) {
+          const int j = static_cast<int>(j64);
+          for (int k0 = 0; k0 < w.rows(); k0 += bs) {
+            const int len = std::min(bs, w.rows() - k0);
+            for (int i = 0; i < len; ++i)
+              buf[static_cast<std::size_t>(i)] = w.at(k0 + i, j);
+            quant::quantise(
+                std::span<const double>(buf.data(),
+                                        static_cast<std::size_t>(len)),
+                weight_fmt_,
+                std::span<double>(out.data(), static_cast<std::size_t>(len)));
+            for (int i = 0; i < len; ++i)
+              q.at(k0 + i, j) =
+                  static_cast<float>(out[static_cast<std::size_t>(i)]);
+          }
+        }
+      };
+  if (static_cast<std::int64_t>(w.size()) < kParallelMinElements) {
+    col_chunk(0, w.cols());
+  } else {
+    common::ThreadPool::global().parallel_for_chunks(0, w.cols(), /*grain=*/0,
+                                                     col_chunk);
   }
   return q;
 }
 
 Matrix BlockQuantMatmulBackend::quantise_activations(const Matrix& acts) const {
   Matrix q(acts.rows(), acts.cols());
-  for (int r = 0; r < acts.rows(); ++r)
-    quant::quantise(acts.row(r), act_fmt_, q.row(r));
+  const auto row_chunk = [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r)
+      quant::quantise(acts.row(static_cast<int>(r)), act_fmt_,
+                      q.row(static_cast<int>(r)));
+  };
+  if (static_cast<std::int64_t>(acts.size()) < kParallelMinElements) {
+    row_chunk(0, acts.rows());
+  } else {
+    common::ThreadPool::global().parallel_for_chunks(0, acts.rows(),
+                                                     /*grain=*/0, row_chunk);
+  }
   return q;
 }
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/threadpool.hpp"
+
 namespace bbal::llm {
 
 Transformer::Transformer(const ModelConfig& config,
@@ -53,6 +55,12 @@ void Transformer::attention(Matrix& x, int layer) {
 
   // Per-head attention. Scores/context products are activation-activation
   // GEMMs and go through the dynamic (both-sides-quantised) path.
+  //
+  // The head loop itself stays serial: backend calls must arrive in a fixed
+  // order because decorators (Session's workload capture, traffic counters)
+  // record them, and the captured sequence feeds the accelerator replay.
+  // Parallelism lives *inside* each matmul (tiled over output rows), which
+  // preserves the call order while using every thread.
   Matrix qh(t, dh), kh_t(dh, t), vh(t, dh);
   for (int head = 0; head < heads; ++head) {
     const int off = head * dh;
@@ -137,25 +145,35 @@ Matrix Transformer::forward(std::span<const int> tokens) {
 double Transformer::mean_nll(std::span<const int> tokens) {
   assert(tokens.size() >= 2);
   const Matrix logits = forward(tokens);
-  double nll = 0.0;
   const int t = static_cast<int>(tokens.size());
-  for (int i = 0; i + 1 < t; ++i) {
-    const std::span<const float> row = logits.row(i);
-    // log-softmax at the realised next token.
-    float mx = row[0];
-    for (const float v : row) mx = std::max(mx, v);
-    double sum = 0.0;
-    for (const float v : row) sum += std::exp(static_cast<double>(v) - mx);
-    const int next = tokens[static_cast<std::size_t>(i) + 1];
-    const double logp =
-        static_cast<double>(row[static_cast<std::size_t>(next)]) - mx -
-        std::log(sum);
-    // Per-token surprise is clipped at uniform + 2 nats so catastrophic
-    // quantisers produce large-but-finite perplexities (the same scale as
-    // the paper's worst Olive rows) instead of numerically unbounded ones.
-    const double cap = std::log(static_cast<double>(config_.vocab)) + 2.0;
-    nll += std::min(-logp, cap);
-  }
+  // Positions are independent; compute each position's surprise in
+  // parallel, then reduce serially in index order so the floating-point
+  // sum is bit-identical to the serial loop at any thread count.
+  std::vector<double> position_nll(static_cast<std::size_t>(t - 1));
+  common::ThreadPool::global().parallel_for_chunks(
+      0, t - 1, /*grain=*/0, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const std::span<const float> row = logits.row(static_cast<int>(i));
+          // log-softmax at the realised next token.
+          float mx = row[0];
+          for (const float v : row) mx = std::max(mx, v);
+          double sum = 0.0;
+          for (const float v : row)
+            sum += std::exp(static_cast<double>(v) - mx);
+          const int next = tokens[static_cast<std::size_t>(i) + 1];
+          const double logp =
+              static_cast<double>(row[static_cast<std::size_t>(next)]) - mx -
+              std::log(sum);
+          // Per-token surprise is clipped at uniform + 2 nats so
+          // catastrophic quantisers produce large-but-finite perplexities
+          // (the same scale as the paper's worst Olive rows) instead of
+          // numerically unbounded ones.
+          const double cap = std::log(static_cast<double>(config_.vocab)) + 2.0;
+          position_nll[static_cast<std::size_t>(i)] = std::min(-logp, cap);
+        }
+      });
+  double nll = 0.0;
+  for (const double v : position_nll) nll += v;
   return nll / static_cast<double>(t - 1);
 }
 

@@ -1,9 +1,13 @@
 // bbal::Session: builder validation, the one-call accuracy+cost
 // co-simulation, and its consistency with the underlying primitives.
+// Plus bbal::SweepRunner: parallel sweeps must reproduce serial
+// Session::evaluate() bit for bit, in declaration order.
 #include <gtest/gtest.h>
 
 #include "accel/simulator.hpp"
 #include "bbal/session.hpp"
+#include "bbal/sweep.hpp"
+#include "common/threadpool.hpp"
 #include "llm/perplexity.hpp"
 
 namespace bbal {
@@ -206,6 +210,106 @@ TEST(Session, EvaluateIsRepeatable) {
   const auto second = session.evaluate().expect("evaluate");
   EXPECT_DOUBLE_EQ(first.perplexity, second.perplexity);
   EXPECT_EQ(first.captured_gemms, second.captured_gemms);
+}
+
+TEST(SweepRunner, MatchesSerialSessionEvaluateInOrder) {
+  // The engine's core guarantee: a parallel sweep returns, slot for slot,
+  // exactly what serial Session::evaluate() calls produce.
+  const std::vector<std::string> strategies = {"BBFP(4,2)", "BFP4", "FP32",
+                                               "BBFP(6,3)"};
+  common::ThreadPool::set_global_threads(4);
+  SweepRunner sweep;
+  for (const std::string& s : strategies) {
+    SweepRunner::Item item;
+    item.prepared = tiny_model();
+    item.matmul = s;
+    sweep.add(std::move(item));
+  }
+  const auto result = sweep.run();
+  common::ThreadPool::set_global_threads(common::ThreadPool::env_threads());
+  ASSERT_TRUE(result.all_ok()) << result.first_error();
+  ASSERT_EQ(result.reports.size(), strategies.size());
+  EXPECT_EQ(result.threads, 4);
+
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    auto serial = Session::Builder()
+                      .prepared(tiny_model())
+                      .matmul(strategies[i])
+                      .build()
+                      .expect("serial build");
+    const auto expected = serial.evaluate().expect("serial evaluate");
+    const Session::Report& got = result.reports[i].value();
+    EXPECT_EQ(got.matmul_strategy.to_string(), strategies[i]);
+    EXPECT_DOUBLE_EQ(got.perplexity, expected.perplexity);
+    EXPECT_DOUBLE_EQ(got.fp32_perplexity, expected.fp32_perplexity);
+    EXPECT_DOUBLE_EQ(got.memory_footprint_bytes,
+                     expected.memory_footprint_bytes);
+    EXPECT_EQ(got.captured_gemms, expected.captured_gemms);
+    EXPECT_EQ(got.captured_macs, expected.captured_macs);
+  }
+}
+
+TEST(SweepRunner, IsolatesFailingItems) {
+  SweepRunner sweep;
+  SweepRunner::Item good;
+  good.prepared = tiny_model();
+  good.matmul = "BFP4";
+  sweep.add(good);
+  SweepRunner::Item bad;
+  bad.prepared = tiny_model();
+  bad.matmul = "no-such-strategy";
+  sweep.add(bad);
+  SweepRunner::Item bad_model;
+  bad_model.model = "No-Such-Model";
+  sweep.add(bad_model);
+  const auto result = sweep.run();
+  ASSERT_EQ(result.reports.size(), 3u);
+  EXPECT_TRUE(result.reports[0].is_ok()) << result.reports[0].message();
+  EXPECT_FALSE(result.reports[1].is_ok());
+  EXPECT_FALSE(result.reports[2].is_ok());
+  EXPECT_NE(result.reports[2].message().find("No-Such-Model"),
+            std::string::npos);
+  EXPECT_FALSE(result.all_ok());
+  EXPECT_FALSE(result.first_error().empty());
+}
+
+TEST(SweepRunner, SharesOnePreparationAcrossItems) {
+  // Four items on the same (tiny) model config: the cache must calibrate
+  // once, and every report must see the same baseline.
+  llm::ModelConfig cfg = tiny_model()->config;
+  cfg.name = "sweep-shared";  // distinct cache key from other tests
+  SweepRunner sweep;
+  sweep.eval_tokens(96);
+  for (const char* s : {"FP32", "BFP4", "BFP6", "BBFP(4,2)"}) {
+    SweepRunner::Item item;
+    item.config = cfg;
+    item.matmul = s;
+    sweep.add(std::move(item));
+  }
+  const auto result = sweep.run();
+  ASSERT_TRUE(result.all_ok()) << result.first_error();
+  EXPECT_EQ(result.models_prepared, 1);
+  const double baseline = result.reports[0].value().fp32_perplexity;
+  for (const auto& r : result.reports)
+    EXPECT_DOUBLE_EQ(r.value().fp32_perplexity, baseline);
+  // FP32 run on the shared preparation reproduces its own baseline.
+  EXPECT_DOUBLE_EQ(result.reports[0].value().perplexity, baseline);
+}
+
+TEST(SessionReport, CarriesAcceleratorPeCount) {
+  accel::AcceleratorConfig cfg;
+  cfg.array_rows = 4;
+  cfg.array_cols = 8;
+  auto session = Session::Builder()
+                     .prepared(tiny_model())
+                     .matmul("BBFP(4,2)")
+                     .accelerator(cfg)
+                     .build()
+                     .expect("build");
+  const auto report = session.evaluate().expect("evaluate");
+  EXPECT_EQ(report.accelerator_pes, 32);
+  EXPECT_NE(report.to_json().find("\"accelerator_pes\": 32"),
+            std::string::npos);
 }
 
 }  // namespace

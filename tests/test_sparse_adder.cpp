@@ -100,10 +100,12 @@ TEST_P(SparseAdderProperty, ExactForAllPaperConfigs) {
   const int lift = d * ((fa ? 1 : 0) + (fb ? 1 : 0));
   Rng rng(static_cast<std::uint64_t>(m * 1000 + d * 100 + fa * 10 + fb));
   for (int trial = 0; trial < 200; ++trial) {
-    const auto acc =
-        static_cast<std::uint64_t>(rng.uniform_int(0, (1 << width) - 1));
+    // 64-bit shifts: width reaches 32 for the m=10,d=5 config, which would
+    // overflow (UB) in 32-bit arithmetic.
+    const auto acc = static_cast<std::uint64_t>(
+        rng.uniform_int(0, (std::int64_t{1} << width) - 1));
     const auto mant = static_cast<std::uint64_t>(
-        rng.uniform_int(0, (1 << (2 * m)) - 1));
+        rng.uniform_int(0, (std::int64_t{1} << (2 * m)) - 1));
     const std::uint64_t prod = mant << lift;
     const SparseAddOutcome out = sparse_add(acc, prod, mask, width);
     EXPECT_EQ(out.sum, (acc + prod) & low_mask(width));

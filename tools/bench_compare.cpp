@@ -1,0 +1,374 @@
+// bench_compare — diff two BENCH_table2.json-shaped files and fail (exit 1)
+// on regression. CI runs it after record_table2 so the committed baseline
+// gates every PR.
+//
+// Accepted shapes: {"meta": {...}, "rows": [...]} (current) or a bare
+// array of row objects (legacy). Rows are matched by their
+// (model, matmul, nonlinear) key; meta is informational and never compared.
+//
+// Field rules:
+//  - model-quality and simulated-cost fields must match *exactly*
+//    (perplexity, memory footprint, energy, cycles, MAC/GEMM counts): the
+//    engine guarantees bit-identical numerics at any thread count, so any
+//    drift is a real regression;
+//  - rate-like fields (seconds, throughput_gops) get a relative tolerance,
+//    ±10% by default (--tol 0.1 to override);
+//  - a field or row present in the baseline but missing from the candidate
+//    is a regression; extra candidate fields/rows are reported but pass
+//    (they are new coverage, not lost coverage).
+//
+// Usage: bench_compare <baseline.json> <candidate.json> [--tol FRACTION]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- Minimal JSON parser ----------------------------------------------------
+// Flat needs only: objects, arrays, strings, numbers, bools, null.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // keeps file order
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    pos_ = 0;
+    if (!value(out)) {
+      error = error_ + " at offset " + std::to_string(pos_);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing characters at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool fail(const char* what) {
+    error_ = what;
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool string_body(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': case '\\': case '/': c = esc; break;
+          default: return fail("unsupported escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') {
+      out.kind = JsonValue::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+          return fail("expected object key");
+        std::string key;
+        if (!string_body(key)) return false;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ':')
+          return fail("expected ':'");
+        ++pos_;
+        JsonValue v;
+        if (!value(v)) return false;
+        out.object.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      out.kind = JsonValue::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        JsonValue v;
+        if (!value(v)) return false;
+        out.array.push_back(std::move(v));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string_body(out.str);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') return literal("null");
+    // number
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) return fail("bad number");
+    out.kind = JsonValue::Kind::kNumber;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- Comparison -------------------------------------------------------------
+
+/// Fields allowed to drift within the relative tolerance: wall-clock-like
+/// rates. Everything else must be bit-identical (see file header).
+bool is_rate_field(const std::string& key) {
+  return key == "seconds" || key == "throughput_gops";
+}
+
+struct Rows {
+  // key "model|matmul|nonlinear" -> row object, plus file order for output
+  std::map<std::string, const JsonValue*> by_key;
+  std::vector<std::string> order;
+};
+
+std::string row_key(const JsonValue& row) {
+  auto field = [&](const char* k) {
+    const JsonValue* v = row.find(k);
+    return v != nullptr && v->kind == JsonValue::Kind::kString ? v->str
+                                                               : std::string();
+  };
+  return field("model") + " | " + field("matmul") + " | " + field("nonlinear");
+}
+
+bool load_rows(const char* path, JsonValue& storage, Rows& rows) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  JsonParser parser(buf.str());
+  if (!parser.parse(storage, error)) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path, error.c_str());
+    return false;
+  }
+  const JsonValue* array = nullptr;
+  if (storage.kind == JsonValue::Kind::kArray) {
+    array = &storage;  // legacy bare-array shape
+  } else if (storage.kind == JsonValue::Kind::kObject) {
+    array = storage.find("rows");
+    if (array == nullptr || array->kind != JsonValue::Kind::kArray) {
+      std::fprintf(stderr, "bench_compare: %s: no \"rows\" array\n", path);
+      return false;
+    }
+  } else {
+    std::fprintf(stderr, "bench_compare: %s: expected array or object\n",
+                 path);
+    return false;
+  }
+  for (const JsonValue& row : array->array) {
+    if (row.kind != JsonValue::Kind::kObject) {
+      std::fprintf(stderr, "bench_compare: %s: row is not an object\n", path);
+      return false;
+    }
+    const std::string key = row_key(row);
+    if (rows.by_key.count(key) != 0) {
+      std::fprintf(stderr, "bench_compare: %s: duplicate row %s\n", path,
+                   key.c_str());
+      return false;
+    }
+    rows.by_key[key] = &row;
+    rows.order.push_back(key);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* candidate_path = nullptr;
+  double tol = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tol" && i + 1 < argc) {
+      tol = std::atof(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: bench_compare <baseline.json> <candidate.json> "
+                   "[--tol FRACTION]\n");
+      return 0;
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (candidate_path == nullptr) {
+      candidate_path = argv[i];
+    } else {
+      std::fprintf(stderr, "bench_compare: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || candidate_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <candidate.json> "
+                 "[--tol FRACTION]\n");
+    return 2;
+  }
+
+  JsonValue baseline_doc, candidate_doc;
+  Rows baseline, candidate;
+  if (!load_rows(baseline_path, baseline_doc, baseline) ||
+      !load_rows(candidate_path, candidate_doc, candidate))
+    return 2;
+
+  int regressions = 0;
+  int checked_fields = 0;
+  auto regress = [&](const std::string& what) {
+    std::printf("REGRESSION  %s\n", what.c_str());
+    ++regressions;
+  };
+
+  for (const std::string& key : baseline.order) {
+    const auto it = candidate.by_key.find(key);
+    if (it == candidate.by_key.end()) {
+      regress("row missing from candidate: " + key);
+      continue;
+    }
+    const JsonValue& brow = *baseline.by_key[key];
+    const JsonValue& crow = *it->second;
+    for (const auto& [field, bval] : brow.object) {
+      const JsonValue* cval = crow.find(field);
+      if (cval == nullptr) {
+        regress(key + ": field \"" + field + "\" missing from candidate");
+        continue;
+      }
+      if (bval.kind == JsonValue::Kind::kString) {
+        if (cval->kind != JsonValue::Kind::kString || cval->str != bval.str)
+          regress(key + ": " + field + " \"" + bval.str + "\" -> \"" +
+                  cval->str + "\"");
+        ++checked_fields;
+        continue;
+      }
+      if (bval.kind != JsonValue::Kind::kNumber) continue;
+      if (cval->kind != JsonValue::Kind::kNumber) {
+        regress(key + ": " + field + " is no longer a number");
+        continue;
+      }
+      ++checked_fields;
+      const double b = bval.number;
+      const double c = cval->number;
+      if (is_rate_field(field)) {
+        const double denom = std::max(std::fabs(b), 1e-300);
+        const double rel = std::fabs(c - b) / denom;
+        if (rel > tol) {
+          char msg[256];
+          std::snprintf(msg, sizeof msg, "%s: %s %.6g -> %.6g (%+.1f%% > %.0f%%)",
+                        key.c_str(), field.c_str(), b, c, (c / b - 1.0) * 100.0,
+                        tol * 100.0);
+          regress(msg);
+        }
+      } else if (b != c) {
+        char msg[256];
+        std::snprintf(msg, sizeof msg,
+                      "%s: %s %.17g -> %.17g (exact-match field)", key.c_str(),
+                      field.c_str(), b, c);
+        regress(msg);
+      }
+    }
+  }
+
+  // New coverage in the candidate: report, never fail.
+  for (const std::string& key : candidate.order)
+    if (baseline.by_key.count(key) == 0)
+      std::printf("NEW ROW     %s (not in baseline, ignored)\n", key.c_str());
+
+  std::printf("bench_compare: %zu baseline rows, %d fields checked, "
+              "%d regression(s), tolerance ±%.0f%% on rate fields\n",
+              baseline.order.size(), checked_fields, regressions, tol * 100.0);
+  return regressions == 0 ? 0 : 1;
+}
