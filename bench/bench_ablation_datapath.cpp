@@ -43,9 +43,10 @@ int main() {
       const double bbfp =
           quant::empirical_mse(data, BlockFormat::bbfp(4, 2, bs));
       const double bfp = quant::empirical_mse(data, BlockFormat::bfp(4, bs));
-      table.add_row({std::to_string(bs), TextTable::num(bbfp, 6),
-                     TextTable::num(bfp, 6), TextTable::num(bfp / bbfp, 2) + "x",
-                     TextTable::num(BlockFormat::bbfp(4, 2, bs).equivalent_bits(), 2)});
+      table.add_row(
+          {std::to_string(bs), TextTable::num(bbfp, 6), TextTable::num(bfp, 6),
+           TextTable::num(bfp / bbfp, 2) + "x",
+           TextTable::num(BlockFormat::bbfp(4, 2, bs).equivalent_bits(), 2)});
     }
     table.print();
     std::printf("(bigger blocks amortise the exponent but widen the range\n"

@@ -23,7 +23,8 @@ int main() {
   using namespace bbal::hw;
   using bbal::quant::BlockFormat;
 
-  bbal::print_banner("Table I: MAC unit area / equivalent bits / memory efficiency");
+  bbal::print_banner(
+      "Table I: MAC unit area / equivalent bits / memory efficiency");
   const CellLibrary& lib = CellLibrary::tsmc28();
 
   const std::vector<Row> rows = {

@@ -40,7 +40,8 @@ int main() {
               unit_out[7], ref[7], max_err);
 
   // 2. SiLU and GELU through the sigmoid/Phi LUTs.
-  TextTable table({"x", "SiLU(unit)", "SiLU(FP32)", "GELU(unit)", "GELU(FP32)"});
+  TextTable table(
+      {"x", "SiLU(unit)", "SiLU(FP32)", "GELU(unit)", "GELU(FP32)"});
   for (const float x : {-4.0f, -1.0f, -0.25f, 0.5f, 2.0f, 6.0f}) {
     std::vector<float> s = {x};
     std::vector<float> g = {x};

@@ -309,6 +309,11 @@ Result<Session> Session::Builder::build() {
 
 // --- Session -----------------------------------------------------------------
 
+const std::shared_ptr<const llm::PreparedModel>& Session::prepare() {
+  if (!prepared_) prepared_ = prepare_shared(config_, eval_tokens_);
+  return prepared_;
+}
+
 Result<Session::Report> Session::evaluate() {
   using R = Result<Report>;
   const BackendRegistry& registry = BackendRegistry::instance();
@@ -322,7 +327,7 @@ Result<Session::Report> Session::evaluate() {
   captured_.clear();
 
   if (!skip_accuracy_) {
-    if (!prepared_) prepared_ = prepare_shared(config_, eval_tokens_);
+    (void)prepare();
     auto matmul_backend = registry.make_matmul(matmul_);
     if (!matmul_backend.is_ok()) return R::error(matmul_backend.message());
     auto nl_backend = registry.make_nonlinear(nonlinear_);

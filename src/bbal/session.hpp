@@ -127,6 +127,12 @@ class Session {
   /// on the first accuracy evaluation — cost-only sessions never pay it.
   [[nodiscard]] Result<Report> evaluate();
 
+  /// Force the lazy model preparation now and return the shared prepared
+  /// model. Serving (serve::Engine) attaches here: the engine reuses the
+  /// session's calibrated model and strategy pair without running an
+  /// evaluate(). Idempotent — repeat calls return the same model.
+  [[nodiscard]] const std::shared_ptr<const llm::PreparedModel>& prepare();
+
   [[nodiscard]] const llm::ModelConfig& model_config() const {
     return config_;
   }

@@ -62,7 +62,8 @@ double to_fp16(double x) {
   if (x < -kMax) return -kMax;
 
   const FloatParts parts = decompose(x, kFp16MantissaBits);
-  if (parts.exponent >= kFp16MinExponent) return compose(parts, kFp16MantissaBits);
+  if (parts.exponent >= kFp16MinExponent)
+    return compose(parts, kFp16MantissaBits);
 
   // Subnormal range: quantum is fixed at 2^-24.
   const double q = std::ldexp(1.0, -24);

@@ -86,18 +86,34 @@ std::vector<std::size_t> abs_histogram(std::span<const double> xs,
   return counts;
 }
 
+namespace {
+
+/// Percentile of an already-materialised (unsorted) sample; sorts in place.
+double percentile_of(std::vector<double>& values, double p) {
+  std::sort(values.begin(), values.end());
+  const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace
+
+double percentile(std::span<const double> xs, double p) {
+  assert(p >= 0.0 && p <= 100.0);
+  if (xs.empty()) return 0.0;
+  std::vector<double> values(xs.begin(), xs.end());
+  return percentile_of(values, p);
+}
+
 double abs_percentile(std::span<const double> xs, double p) {
   assert(p >= 0.0 && p <= 100.0);
   if (xs.empty()) return 0.0;
   std::vector<double> mags(xs.size());
   std::transform(xs.begin(), xs.end(), mags.begin(),
                  [](double v) { return std::fabs(v); });
-  std::sort(mags.begin(), mags.end());
-  const double pos = p / 100.0 * static_cast<double>(mags.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, mags.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return mags[lo] * (1.0 - frac) + mags[hi] * frac;
+  return percentile_of(mags, p);
 }
 
 }  // namespace bbal

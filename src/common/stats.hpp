@@ -30,6 +30,12 @@ namespace bbal {
 [[nodiscard]] std::vector<std::size_t> abs_histogram(
     std::span<const double> xs, double max_value, std::size_t bins);
 
+/// p-th percentile (p in [0,100]) of the values themselves, linear
+/// interpolation between order statistics. Used for serving-latency
+/// summaries (p50/p95/p99) where sign matters (latencies are positive but
+/// uncentred); 0 for an empty span.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
 /// p-th percentile (p in [0,100]) of |x|, linear interpolation.
 [[nodiscard]] double abs_percentile(std::span<const double> xs, double p);
 

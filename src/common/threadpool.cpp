@@ -16,7 +16,8 @@ ThreadPool::ThreadPool(int threads) {
     queues_.push_back(std::make_unique<WorkerQueue>());
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i)
-    workers_.emplace_back([this, i] { worker_main(static_cast<std::size_t>(i)); });
+    workers_.emplace_back(
+        [this, i] { worker_main(static_cast<std::size_t>(i)); });
 }
 
 ThreadPool::~ThreadPool() {

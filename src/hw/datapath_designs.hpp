@@ -55,10 +55,12 @@ enum class PeVariant { kExponentAdder, kExponentBypass };
 
 /// Defaults to the bypass variant: shared-exponent adders sit at the array
 /// edge, most PEs only forward the exponent (Fig. 7's PE mix).
-[[nodiscard]] DatapathDesign bfp_pe(const quant::BlockFormat& fmt,
-                                    PeVariant variant = PeVariant::kExponentBypass);
-[[nodiscard]] DatapathDesign bbfp_pe(const quant::BlockFormat& fmt,
-                                     PeVariant variant = PeVariant::kExponentBypass);
+[[nodiscard]] DatapathDesign bfp_pe(
+    const quant::BlockFormat& fmt,
+    PeVariant variant = PeVariant::kExponentBypass);
+[[nodiscard]] DatapathDesign bbfp_pe(
+    const quant::BlockFormat& fmt,
+    PeVariant variant = PeVariant::kExponentBypass);
 [[nodiscard]] DatapathDesign int_pe(int bits);
 [[nodiscard]] DatapathDesign fp16_pe();
 

@@ -7,7 +7,8 @@ namespace bbal::llm {
 
 std::string layer_kind_of_tag(const std::string& tag) {
   const auto dot = tag.rfind('.');
-  const std::string suffix = dot == std::string::npos ? tag : tag.substr(dot + 1);
+  const std::string suffix =
+      dot == std::string::npos ? tag : tag.substr(dot + 1);
   if (suffix == "wq") return "Query";
   if (suffix == "wk") return "Key";
   if (suffix == "wv") return "Value";

@@ -5,23 +5,24 @@
 
 namespace bbal::llm {
 
-Decoder::Decoder(Transformer& model) : model_(model) {
-  k_cache_.resize(static_cast<std::size_t>(model.config().n_layers));
-  v_cache_.resize(static_cast<std::size_t>(model.config().n_layers));
+Decoder::Decoder(Transformer& model)
+    : model_(model), cache_(model.config().n_layers) {}
+
+void Decoder::reset() { cache_.clear(); }
+
+KVCache Decoder::make_cache() const {
+  return KVCache(model_.config().n_layers);
 }
 
-void Decoder::reset() {
-  for (auto& layer : k_cache_) layer.clear();
-  for (auto& layer : v_cache_) layer.clear();
-  ctx_len_ = 0;
-}
+std::vector<float> Decoder::step(int token) { return step(token, cache_); }
 
-std::vector<float> Decoder::step(int token) {
+std::vector<float> Decoder::step(int token, KVCache& cache) {
   const ModelConfig& cfg = model_.config();
   const TransformerWeights& w = model_.weights();
   MatmulBackend& mm = model_.matmul_backend();
   NonlinearBackend& nl = model_.nonlinear_backend();
   assert(token >= 0 && token < cfg.vocab);
+  assert(cache.k.size() == static_cast<std::size_t>(cfg.n_layers));
 
   const int d = cfg.d_model;
   const int heads = cfg.n_heads;
@@ -43,8 +44,8 @@ std::vector<float> Decoder::step(int token) {
     const LayerWeights& lw = w.layers[static_cast<std::size_t>(l)];
     const Transformer::LayerHandles& h =
         model_.layer_handles()[static_cast<std::size_t>(l)];
-    auto& kcache = k_cache_[static_cast<std::size_t>(l)];
-    auto& vcache = v_cache_[static_cast<std::size_t>(l)];
+    auto& kcache = cache.k[static_cast<std::size_t>(l)];
+    auto& vcache = cache.v[static_cast<std::size_t>(l)];
 
     // --- Attention ---
     Matrix normed = x;
@@ -107,7 +108,6 @@ std::vector<float> Decoder::step(int token) {
   mm.matmul(x, model_.lm_head_handle(), logits);
   std::vector<float> out(logits.row(0).begin(), logits.row(0).end());
   for (float& vv : out) vv *= model_.logit_scale();
-  ++ctx_len_;
   return out;
 }
 

@@ -1,6 +1,13 @@
 // Incremental (KV-cached) decoding: token-by-token generation used to
-// synthesise evaluation streams from the FP32 model and to drive the
-// decode-phase runtime study (Fig. 1b workload shapes).
+// synthesise evaluation streams from the FP32 model, to drive the
+// decode-phase runtime study (Fig. 1b workload shapes) and to execute the
+// per-request forward steps of the serving engine (serve::Engine).
+//
+// The KV cache is a value type owned by the caller: a Decoder carries one
+// for the classic single-sequence API (step(token)), while the serving
+// engine owns one KVCache per in-flight request and passes it explicitly
+// (step(token, cache)) so a fixed pool of decoders can serve an unbounded
+// stream of requests.
 #pragma once
 
 #include <vector>
@@ -9,26 +16,56 @@
 
 namespace bbal::llm {
 
+/// Per-sequence attention state: cached keys/values per layer, rows =
+/// positions seen so far. Cheap to move; independent of any Decoder.
+struct KVCache {
+  KVCache() = default;
+  explicit KVCache(int n_layers)
+      : k(static_cast<std::size_t>(n_layers)),
+        v(static_cast<std::size_t>(n_layers)) {}
+
+  /// Positions cached so far (the context length of the sequence).
+  [[nodiscard]] int length() const {
+    return k.empty() ? 0 : static_cast<int>(k.front().size());
+  }
+  /// Drop all cached positions but keep the per-layer structure.
+  void clear() {
+    for (auto& layer : k) layer.clear();
+    for (auto& layer : v) layer.clear();
+  }
+
+  // Per layer: cached keys/values, rows = positions seen so far.
+  std::vector<std::vector<std::vector<float>>> k;
+  std::vector<std::vector<std::vector<float>>> v;
+};
+
 class Decoder {
  public:
   /// Borrows the transformer (weights + backends) for its lifetime.
   explicit Decoder(Transformer& model);
 
-  /// Clear the KV cache.
+  /// Clear the decoder-owned KV cache.
   void reset();
 
-  /// Feed one token; returns the logits for the next-token distribution.
+  /// Feed one token into the decoder-owned cache; returns the logits for
+  /// the next-token distribution.
   [[nodiscard]] std::vector<float> step(int token);
 
-  /// Current context length.
-  [[nodiscard]] int context_length() const { return ctx_len_; }
+  /// Feed one token into a caller-owned cache (serving engine path). The
+  /// cache must come from make_cache() (or a moved-from equivalent) of a
+  /// model with the same layer count. Bit-identical to the owned-cache
+  /// step at the same context.
+  [[nodiscard]] std::vector<float> step(int token, KVCache& cache);
+
+  /// A fresh, empty cache sized for this decoder's model.
+  [[nodiscard]] KVCache make_cache() const;
+
+  /// Current context length of the decoder-owned cache.
+  [[nodiscard]] int context_length() const { return cache_.length(); }
 
  private:
   Transformer& model_;
-  // Per layer: cached keys/values, rows = positions seen so far.
-  std::vector<std::vector<std::vector<float>>> k_cache_;
-  std::vector<std::vector<std::vector<float>>> v_cache_;
-  int ctx_len_ = 0;
+  KVCache cache_;
 };
 
 }  // namespace bbal::llm

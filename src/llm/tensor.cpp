@@ -94,9 +94,9 @@ void rmsnorm_rows(Matrix& x, std::span<const float> gain, float eps) {
     for (int r = 0; r < x.rows(); ++r) rmsnorm_row(x.row(r), gain, eps);
     return;
   }
-  common::ThreadPool::global().parallel_for(
-      0, x.rows(),
-      [&](std::int64_t r) { rmsnorm_row(x.row(static_cast<int>(r)), gain, eps); });
+  common::ThreadPool::global().parallel_for(0, x.rows(), [&](std::int64_t r) {
+    rmsnorm_row(x.row(static_cast<int>(r)), gain, eps);
+  });
 }
 
 void softmax_reference(std::span<float> xs) {

@@ -33,8 +33,8 @@ BlockDotResult dot_block(const EncodedBlock& a, const EncodedBlock& b) {
   result.scale_exponent =
       (a.shared_exponent - a.format.mantissa_bits + 1) +
       (b.shared_exponent - b.format.mantissa_bits + 1);
-  result.value =
-      std::ldexp(static_cast<double>(result.accumulator), result.scale_exponent);
+  result.value = std::ldexp(static_cast<double>(result.accumulator),
+                            result.scale_exponent);
   return result;
 }
 

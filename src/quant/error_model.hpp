@@ -1,7 +1,8 @@
 // Quantisation error analysis (Section III.B, Eq. 8).
 //
 // The paper's key analytical point: with round-to-nearest, block floating
-// point error variance is sigma^2 = 2^-2Lm / 12 * sum_i p(gamma_i) 2^(2 gamma_i)
+// point error variance is
+// sigma^2 = 2^-2Lm / 12 * sum_i p(gamma_i) 2^(2 gamma_i)
 // — entirely driven by the PMF of the shared exponent. BBFP lowers the
 // selected exponent by (m - o), shifting that PMF down and shrinking the
 // variance for everything that stays in the low group.

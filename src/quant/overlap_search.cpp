@@ -18,7 +18,8 @@ OverlapSearchResult select_overlap_width(
     result.overhead.push_back(overhead_of_overlap(o));
   }
 
-  const double ppl_max = *std::max_element(result.ppl.begin(), result.ppl.end());
+  const double ppl_max =
+      *std::max_element(result.ppl.begin(), result.ppl.end());
   const double ovh_max =
       *std::max_element(result.overhead.begin(), result.overhead.end());
   assert(ppl_max > 0.0 && ovh_max > 0.0);
@@ -26,8 +27,10 @@ OverlapSearchResult select_overlap_width(
   double best = 0.0;
   for (int o = 0; o < mantissa_bits; ++o) {
     const double score =
-        overhead_weight * (result.overhead[static_cast<std::size_t>(o)] / ovh_max) +
-        (1.0 - overhead_weight) * (result.ppl[static_cast<std::size_t>(o)] / ppl_max);
+        overhead_weight *
+            (result.overhead[static_cast<std::size_t>(o)] / ovh_max) +
+        (1.0 - overhead_weight) *
+            (result.ppl[static_cast<std::size_t>(o)] / ppl_max);
     result.score.push_back(score);
     if (o == 0 || score < best) {
       best = score;

@@ -30,7 +30,8 @@ struct PackedBlocks {
 [[nodiscard]] PackedBlocks pack_blocks(const std::vector<EncodedBlock>& blocks);
 
 /// Unpack into blocks of format.block_size (last block short if needed).
-[[nodiscard]] std::vector<EncodedBlock> unpack_blocks(const PackedBlocks& packed);
+[[nodiscard]] std::vector<EncodedBlock> unpack_blocks(
+    const PackedBlocks& packed);
 
 /// Convenience: quantise a real vector and return its packed image.
 [[nodiscard]] PackedBlocks pack_values(std::span<const double> values,

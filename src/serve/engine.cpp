@@ -1,0 +1,371 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "accel/simulator.hpp"
+#include "accel/workload.hpp"
+#include "bbal/registry.hpp"
+#include "common/stats.hpp"
+#include "common/threadpool.hpp"
+
+namespace bbal::serve {
+namespace {
+
+/// Greedy sampling: the arg-max logit, lowest index winning ties, so a
+/// continuation is a deterministic function of the prompt.
+int argmax_token(const std::vector<float>& logits) {
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(logits.size()); ++i)
+    if (logits[static_cast<std::size_t>(i)] >
+        logits[static_cast<std::size_t>(best)])
+      best = i;
+  return best;
+}
+
+/// FNV-1a over the 4 little-endian bytes of `value`.
+void fnv32_mix(std::uint32_t& hash, std::uint32_t value) {
+  for (int byte = 0; byte < 4; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= 16777619u;
+  }
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+// --- Construction ------------------------------------------------------------
+
+Result<Engine> Engine::create(
+    std::shared_ptr<const llm::PreparedModel> model,
+    const quant::StrategySpec& matmul, const quant::StrategySpec& nonlinear,
+    Options options) {
+  using R = Result<Engine>;
+  if (!model) return R::error("no model: pass a prepared model");
+  if (options.max_batch < 1)
+    return R::error("max_batch must be >= 1, got " +
+                    std::to_string(options.max_batch));
+
+  const BackendRegistry& registry = BackendRegistry::instance();
+  {
+    const auto caps = registry.capabilities(matmul);
+    if (!caps.is_ok()) return R::error("matmul: " + caps.message());
+    if (!caps.value().matmul)
+      return R::error("matmul: " + matmul.to_string() +
+                      " is not a linear-layer strategy");
+    const auto nl_caps = registry.capabilities(nonlinear);
+    if (!nl_caps.is_ok()) return R::error("nonlinear: " + nl_caps.message());
+    if (!nl_caps.value().nonlinear)
+      return R::error("nonlinear: " + nonlinear.to_string() +
+                      " is not a nonlinear strategy");
+  }
+
+  Engine engine;
+  engine.prepared_ = std::move(model);
+  engine.matmul_ = matmul;
+  engine.nonlinear_ = nonlinear;
+
+  // Accelerator: same binding rule as Session — the engine's matmul
+  // strategy drives the cost model, which must therefore exist.
+  if (options.accelerator) {
+    if (!registry.has_cost_model(matmul))
+      return R::error("accelerator: " + matmul.to_string() +
+                      " has no hardware cost model; drop the accelerator or "
+                      "choose a cost-modelled strategy");
+    engine.accel_ = std::move(*options.accelerator);
+    engine.accel_->strategy = matmul.to_string();
+  }
+
+  // Build the execution slots: each prepares (quantises) the weights once.
+  engine.slots_.reserve(static_cast<std::size_t>(options.max_batch));
+  for (int s = 0; s < options.max_batch; ++s) {
+    auto mm = registry.make_matmul(matmul);
+    if (!mm.is_ok()) return R::error(mm.message());
+    auto nl = registry.make_nonlinear(nonlinear);
+    if (!nl.is_ok()) return R::error(nl.message());
+    Slot slot;
+    slot.matmul = std::move(mm).value();
+    slot.nonlinear = std::move(nl).value();
+    slot.model = std::make_unique<llm::Transformer>(
+        engine.prepared_->config, engine.prepared_->weights, *slot.matmul,
+        *slot.nonlinear);
+    slot.model->set_logit_scale(engine.prepared_->logit_scale);
+    slot.decoder = std::make_unique<llm::Decoder>(*slot.model);
+    engine.slots_.push_back(std::move(slot));
+  }
+  return engine;
+}
+
+Result<Engine> Engine::create(std::shared_ptr<const llm::PreparedModel> model,
+                              std::string_view matmul,
+                              std::string_view nonlinear, Options options) {
+  using R = Result<Engine>;
+  auto matmul_spec = quant::StrategySpec::parse(matmul);
+  if (!matmul_spec.is_ok()) return R::error("matmul: " + matmul_spec.message());
+  auto nonlinear_spec = quant::StrategySpec::parse(nonlinear);
+  if (!nonlinear_spec.is_ok())
+    return R::error("nonlinear: " + nonlinear_spec.message());
+  return create(std::move(model), matmul_spec.value(), nonlinear_spec.value(),
+                std::move(options));
+}
+
+Result<Engine> Engine::from_session(Session& session, int max_batch) {
+  Options options;
+  options.max_batch = max_batch;
+  if (session.has_accelerator()) options.accelerator = session.accelerator();
+  return create(session.prepare(), session.matmul_strategy(),
+                session.nonlinear_strategy(), std::move(options));
+}
+
+// --- Scheduling --------------------------------------------------------------
+
+std::uint64_t Engine::submit(Request request) {
+  queue_.push_back(std::move(request));
+  return queue_.size() - 1;
+}
+
+Report Engine::run() {
+  const llm::ModelConfig& cfg = prepared_->config;
+  Report report;
+  report.model = cfg.name;
+  report.matmul = matmul_.to_string();
+  report.nonlinear = nonlinear_.to_string();
+  report.max_batch = max_batch();
+  report.has_cost = accel_.has_value();
+
+  std::vector<Request> requests(std::make_move_iterator(queue_.begin()),
+                                std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  report.requests = static_cast<std::int64_t>(requests.size());
+  report.results.resize(requests.size());
+
+  // Validate up front; malformed requests become error results and are
+  // never admitted (the batch must survive a bad client).
+  std::deque<std::size_t> waiting;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& req = requests[i];
+    RequestResult& out = report.results[i];
+    out.id = i;
+    out.prompt_tokens = static_cast<int>(req.prompt.size());
+    if (req.prompt.empty()) {
+      out.error = "empty prompt";
+      continue;
+    }
+    if (req.max_new_tokens <= 0) {
+      out.error = "max_new_tokens must be > 0, got " +
+                  std::to_string(req.max_new_tokens);
+      continue;
+    }
+    const auto bad =
+        std::find_if(req.prompt.begin(), req.prompt.end(),
+                     [&](int t) { return t < 0 || t >= cfg.vocab; });
+    if (bad != req.prompt.end()) {
+      out.error = "prompt token " + std::to_string(*bad) +
+                  " outside vocabulary [0, " + std::to_string(cfg.vocab) + ")";
+      continue;
+    }
+    waiting.push_back(i);
+  }
+
+  std::vector<InFlight> active;
+  active.reserve(slots_.size());
+  // Free-slot stack, kept sorted so the lowest-numbered slot is admitted
+  // first (a deterministic request -> slot mapping).
+  std::vector<int> free_slots;
+  for (int s = max_batch() - 1; s >= 0; --s) free_slots.push_back(s);
+
+  std::vector<double> token_latencies;  ///< simulated, per emitted token
+  accel::EnergyBreakdown energy;
+  double sim_makespan = 0.0;  ///< sum of per-tick simulated latencies
+  std::int64_t occupancy_sum = 0;
+  common::ThreadPool& pool = common::ThreadPool::global();
+
+  const auto run_start = std::chrono::steady_clock::now();
+  while (!waiting.empty() || !active.empty()) {
+    while (!waiting.empty() && !free_slots.empty()) {
+      InFlight flight;
+      flight.request_index = waiting.front();
+      waiting.pop_front();
+      flight.slot = free_slots.back();
+      free_slots.pop_back();
+      flight.cache =
+          slots_[static_cast<std::size_t>(flight.slot)].decoder->make_cache();
+      active.push_back(std::move(flight));
+    }
+    ++report.engine_steps;
+    occupancy_sum += static_cast<std::int64_t>(active.size());
+
+    // Price the tick before stepping it: each active request's decode
+    // step attends over (cached positions + 1) — the batch shares the
+    // accelerator, so the tick costs their combined workload.
+    double tick_seconds = 0.0;
+    if (accel_) {
+      std::vector<accel::GemmShape> workload;
+      for (const InFlight& flight : active) {
+        std::vector<accel::GemmShape> step =
+            accel::decode_step_gemms(cfg, flight.cache.length() + 1);
+        workload.insert(workload.end(),
+                        std::make_move_iterator(step.begin()),
+                        std::make_move_iterator(step.end()));
+      }
+      const accel::RunStats stats = accel::simulate_workload(*accel_, workload);
+      tick_seconds = stats.seconds;
+      sim_makespan += tick_seconds;
+      report.simulated_macs += stats.gemm.macs;
+      energy.core_j += stats.energy.core_j;
+      energy.buffer_j += stats.energy.buffer_j;
+      energy.dram_j += stats.energy.dram_j;
+      energy.static_j += stats.energy.static_j;
+    }
+
+    // Step every active request by one token, batched across the pool.
+    // Slots are private to their request, so bodies touch disjoint state
+    // and the numerics are bit-identical to a serial drain.
+    pool.parallel_for(
+        0, static_cast<std::int64_t>(active.size()),
+        [&](std::int64_t i) {
+          InFlight& flight = active[static_cast<std::size_t>(i)];
+          const Request& req = requests[flight.request_index];
+          RequestResult& out = report.results[flight.request_index];
+          llm::Decoder& decoder =
+              *slots_[static_cast<std::size_t>(flight.slot)].decoder;
+          const int prompt_len = static_cast<int>(req.prompt.size());
+          const bool prefilling = flight.prompt_pos < prompt_len;
+          const int input =
+              prefilling
+                  ? req.prompt[static_cast<std::size_t>(flight.prompt_pos)]
+                  : flight.last_token;
+          const std::vector<float> logits = decoder.step(input, flight.cache);
+          if (prefilling) ++flight.prompt_pos;
+          // The tick that consumes the final prompt token emits the first
+          // generated token; every later tick emits one more.
+          if (flight.prompt_pos == prompt_len) {
+            flight.last_token = argmax_token(logits);
+            out.generated.push_back(flight.last_token);
+          }
+        });
+    const double wall_now = seconds_since(run_start);
+
+    // Serial bookkeeping + retirement, in slot-admission order. Latencies
+    // are read off the global run clocks (sim_makespan already includes
+    // this tick), so queueing delay counts toward TTFT and total latency.
+    for (InFlight& flight : active) {
+      const Request& req = requests[flight.request_index];
+      RequestResult& out = report.results[flight.request_index];
+      ++flight.steps;
+      const bool emitted =
+          flight.prompt_pos == static_cast<int>(req.prompt.size());
+      if (emitted) {
+        token_latencies.push_back(tick_seconds);
+        if (out.generated.size() == 1) {
+          flight.ttft_seconds = sim_makespan;
+          flight.ttft_wall_seconds = wall_now;
+        }
+      }
+    }
+    std::erase_if(active, [&](InFlight& flight) {
+      const Request& req = requests[flight.request_index];
+      RequestResult& out = report.results[flight.request_index];
+      if (static_cast<int>(out.generated.size()) < req.max_new_tokens)
+        return false;
+      out.ok = true;
+      out.steps = flight.steps;
+      out.ttft_seconds = flight.ttft_seconds;
+      out.ttft_wall_seconds = flight.ttft_wall_seconds;
+      out.total_seconds = sim_makespan;
+      out.wall_seconds = wall_now;
+      if (report.has_cost && out.total_seconds > 0.0)
+        out.tokens_per_second =
+            static_cast<double>(out.generated.size()) / out.total_seconds;
+      free_slots.push_back(flight.slot);
+      return true;
+    });
+    std::sort(free_slots.begin(), free_slots.end(), std::greater<int>());
+  }
+  report.wall_seconds = seconds_since(run_start);
+
+  // --- Aggregates (completed requests only) ---
+  double ttft_sum = 0.0;
+  std::uint32_t hash = 2166136261u;
+  for (const RequestResult& out : report.results) {
+    if (!out.ok) continue;
+    ++report.completed;
+    report.prompt_tokens += out.prompt_tokens;
+    report.generated_tokens += static_cast<std::int64_t>(out.generated.size());
+    ttft_sum += out.ttft_seconds;
+    fnv32_mix(hash, static_cast<std::uint32_t>(out.id));
+    for (const int token : out.generated)
+      fnv32_mix(hash, static_cast<std::uint32_t>(token));
+  }
+  report.stream_hash = hash;
+  if (report.engine_steps > 0)
+    report.mean_batch_occupancy = static_cast<double>(occupancy_sum) /
+                                  static_cast<double>(report.engine_steps);
+  // Ticks run sequentially on the shared accelerator, so the simulated
+  // makespan of the run is the sum of per-tick latencies.
+  report.total_seconds = sim_makespan;
+  if (report.has_cost && sim_makespan > 0.0)
+    report.throughput_tokens_per_second =
+        static_cast<double>(report.generated_tokens) / sim_makespan;
+  report.energy_j = energy.total_j();
+  if (report.completed > 0)
+    report.ttft_mean_seconds = ttft_sum / static_cast<double>(report.completed);
+  report.p50_step_seconds = percentile(token_latencies, 50.0);
+  report.p95_step_seconds = percentile(token_latencies, 95.0);
+  report.p99_step_seconds = percentile(token_latencies, 99.0);
+  return report;
+}
+
+// --- Report ------------------------------------------------------------------
+
+namespace {
+
+void append_json(std::ostringstream& os, const char* key, double v) {
+  os << ", \"" << key << "\": " << v;
+}
+
+/// Count fields (token totals, hashes) are exact-match in the CI gate, so
+/// they must serialise at full precision, not the double default.
+void append_json_int(std::ostringstream& os, const char* key,
+                     std::int64_t v) {
+  os << ", \"" << key << "\": " << v;
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\"model\": \"" << model << "\", \"matmul\": \"" << matmul
+     << "\", \"nonlinear\": \"" << nonlinear << "\"";
+  append_json_int(os, "requests", requests);
+  append_json_int(os, "completed", completed);
+  append_json_int(os, "max_batch", max_batch);
+  append_json_int(os, "prompt_tokens", prompt_tokens);
+  append_json_int(os, "generated_tokens", generated_tokens);
+  append_json_int(os, "engine_steps", engine_steps);
+  append_json(os, "mean_batch_occupancy", mean_batch_occupancy);
+  append_json_int(os, "stream_hash", static_cast<std::int64_t>(stream_hash));
+  if (has_cost) {
+    append_json_int(os, "simulated_macs", simulated_macs);
+    append_json(os, "total_seconds", total_seconds);
+    append_json(os, "throughput_tokens_per_second",
+                throughput_tokens_per_second);
+    append_json(os, "ttft_mean_seconds", ttft_mean_seconds);
+    append_json(os, "p50_step_seconds", p50_step_seconds);
+    append_json(os, "p95_step_seconds", p95_step_seconds);
+    append_json(os, "p99_step_seconds", p99_step_seconds);
+    append_json(os, "energy_j", energy_j);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace bbal::serve

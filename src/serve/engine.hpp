@@ -1,0 +1,158 @@
+// bbal::serve::Engine — continuous-batching request scheduler over the
+// quantised backends: the repo's first *online* workload (ROADMAP: serve
+// decode-phase traffic, the bottleneck BBAL's datapath targets in Fig. 1b).
+//
+// The engine owns max_batch execution slots. Each slot is a full quantised
+// pipeline — a MatmulBackend + NonlinearBackend pair resolved through the
+// BackendRegistry with the weights prepared (quantised) once at engine
+// construction, plus a Decoder. Requests queue in submit() order; run()
+// executes the continuous-batching loop:
+//
+//   tick:  admit queued requests into free slots (FIFO),
+//          step every active request by one token in parallel on
+//          common::ThreadPool::global() (prompt tokens first — prefill —
+//          then greedy decode), and
+//          price the tick by replaying its combined decode-step GEMM
+//          workload on the accelerator model (when one is attached).
+//
+// A request's KV cache is engine-owned (llm::KVCache) and travels with the
+// request, not the slot — a finished request frees its slot for the next
+// queued one immediately, mid-run.
+//
+// Determinism: each request's math is computed on a slot-private backend
+// with double-accumulated GEMMs, so a K-request batched run produces
+// bit-identical token streams to K serial single-request decodes at any
+// BBAL_THREADS (tested in test_serve; gated by BENCH_serve.json in CI).
+//
+//   auto session = bbal::Session::Builder()
+//                      .prepared(model).matmul("BBFP(4,2)")
+//                      .accelerator(accel_cfg).build().expect("build");
+//   auto engine = serve::Engine::from_session(session, /*max_batch=*/8)
+//                     .expect("engine");
+//   for (const auto& prompt : prompts)
+//     engine.submit({prompt, /*max_new_tokens=*/32});
+//   serve::Report report = engine.run();
+//   // report.results[i].generated, .ttft_seconds, .tokens_per_second,
+//   // report.p99_step_seconds, report.throughput_tokens_per_second
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "bbal/session.hpp"
+#include "llm/decoder.hpp"
+#include "serve/request.hpp"
+
+namespace bbal::serve {
+
+class Engine {
+ public:
+  struct Options {
+    /// Concurrent execution slots (>= 1). Each slot pays one weight
+    /// preparation at engine construction and holds its own quantised
+    /// copy — deliberate: registry backends are single-session objects
+    /// with no thread-safety contract (see bbal/registry.hpp), so
+    /// slot-private backends are what lets ticks step all requests
+    /// concurrently without assuming anything about backend internals.
+    int max_batch = 4;
+    /// Accelerator pricing each tick's workload; its strategy field is
+    /// overwritten with the engine's matmul strategy (Session's rule).
+    /// Without it the report carries token streams and wall-clock only.
+    std::optional<accel::AcceleratorConfig> accelerator;
+  };
+
+  /// Build an engine over a prepared model and a strategy pair. All
+  /// errors (unknown strategy, wrong capability, no cost model for the
+  /// accelerator, bad max_batch) surface here, not in run().
+  [[nodiscard]] static Result<Engine> create(
+      std::shared_ptr<const llm::PreparedModel> model,
+      const quant::StrategySpec& matmul, const quant::StrategySpec& nonlinear,
+      Options options);
+  /// Name-based convenience ("BBFP(4,2)", "INT8", ...).
+  [[nodiscard]] static Result<Engine> create(
+      std::shared_ptr<const llm::PreparedModel> model,
+      std::string_view matmul, std::string_view nonlinear, Options options);
+  [[nodiscard]] static Result<Engine> create(
+      std::shared_ptr<const llm::PreparedModel> model,
+      std::string_view matmul, std::string_view nonlinear = "FP32") {
+    return create(std::move(model), matmul, nonlinear, Options{});
+  }
+
+  /// Serve a Session's configuration: same prepared model (prepared now if
+  /// the session was lazy), same strategy pair, same accelerator.
+  [[nodiscard]] static Result<Engine> from_session(Session& session,
+                                                   int max_batch = 4);
+
+  Engine(Engine&&) noexcept = default;
+  Engine& operator=(Engine&&) noexcept = default;
+
+  /// Queue a request; returns its id — its position in the next run()'s
+  /// Report::results (ids restart at 0 after each run). A malformed
+  /// request (empty prompt, non-positive budget, token out of vocabulary)
+  /// is accepted here and reported as an error result by run() —
+  /// submission never aborts the batch.
+  std::uint64_t submit(Request request);
+
+  /// Requests queued and not yet consumed by a run().
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Run the continuous-batching loop until every queued request is
+  /// complete. Blocking; repeatable (a later submit() + run() starts a
+  /// fresh report with fresh ids).
+  [[nodiscard]] Report run();
+
+  [[nodiscard]] const llm::ModelConfig& model_config() const {
+    return prepared_->config;
+  }
+  [[nodiscard]] const quant::StrategySpec& matmul_strategy() const {
+    return matmul_;
+  }
+  [[nodiscard]] const quant::StrategySpec& nonlinear_strategy() const {
+    return nonlinear_;
+  }
+  [[nodiscard]] int max_batch() const {
+    return static_cast<int>(slots_.size());
+  }
+  [[nodiscard]] bool has_accelerator() const { return accel_.has_value(); }
+
+ private:
+  /// One execution slot: a slot-private backend pair (quantised weights
+  /// prepared once) and the decoder that steps requests through it.
+  struct Slot {
+    std::unique_ptr<llm::MatmulBackend> matmul;
+    std::unique_ptr<llm::NonlinearBackend> nonlinear;
+    std::unique_ptr<llm::Transformer> model;
+    std::unique_ptr<llm::Decoder> decoder;
+  };
+
+  /// An admitted request mid-flight: its engine-owned cache and progress.
+  /// Latency fields hold the global run clock (simulated makespan / wall
+  /// time since run start) at the respective event, so TTFT and total
+  /// latency include queueing delay — the client-visible metric.
+  struct InFlight {
+    std::size_t request_index = 0;  ///< into the run's requests/results
+    int slot = 0;
+    llm::KVCache cache;
+    int prompt_pos = 0;
+    int last_token = -1;  ///< most recent generated token (decode input)
+    double ttft_seconds = 0.0;
+    double ttft_wall_seconds = 0.0;
+    int steps = 0;
+  };
+
+  Engine() = default;
+
+  std::shared_ptr<const llm::PreparedModel> prepared_;
+  quant::StrategySpec matmul_;
+  quant::StrategySpec nonlinear_;
+  std::optional<accel::AcceleratorConfig> accel_;
+  std::vector<Slot> slots_;
+  std::deque<Request> queue_;
+};
+
+}  // namespace bbal::serve

@@ -1,0 +1,93 @@
+// Request/response types of the serving engine (serve::Engine): what a
+// client submits, what it gets back per request, and the aggregate report
+// the benchmarks and the CI serving gate consume.
+//
+// Two clocks run through every metric:
+//  - *Simulated* seconds come from replaying each engine step's GEMM
+//    workload on the cycle-level accelerator model (accel::simulate_
+//    workload), exactly like Session's cost half. They are deterministic —
+//    bit-identical across hosts and thread counts — which is what lets
+//    BENCH_serve.json gate TTFT/latency percentiles in CI.
+//  - *Wall* seconds are host wall-clock, reported for operators but kept
+//    out of the gated report rows (machine-dependent).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bbal::serve {
+
+/// One generation request: a prompt and a completion budget. Sampling is
+/// greedy (argmax, lowest index wins ties), so a request's continuation is
+/// a pure function of (model, strategy, prompt).
+struct Request {
+  std::vector<int> prompt;  ///< token ids in [0, vocab)
+  int max_new_tokens = 16;  ///< completion budget (> 0)
+};
+
+/// Per-request outcome. Timing fields are populated when the engine has an
+/// accelerator attached (has_cost in the report); wall fields always.
+struct RequestResult {
+  std::uint64_t id = 0;  ///< submit() order, starting at 0
+  bool ok = false;
+  std::string error;  ///< set when !ok (bad prompt, bad budget)
+
+  std::vector<int> generated;  ///< the greedy continuation
+  int prompt_tokens = 0;
+  int steps = 0;  ///< engine ticks this request was active for
+
+  /// Simulated time from arrival (run start) until the first generated
+  /// token — queueing delay included, the client-visible TTFT.
+  double ttft_seconds = 0.0;
+  /// Simulated time from arrival until completion.
+  double total_seconds = 0.0;
+  /// generated / total_seconds (0 when no accelerator is attached).
+  double tokens_per_second = 0.0;
+  /// Host wall-clock from arrival until the first generated token.
+  double ttft_wall_seconds = 0.0;
+  /// Host wall-clock from arrival until completion.
+  double wall_seconds = 0.0;
+};
+
+/// Aggregate serving metrics over one Engine::run(). to_json() emits one
+/// flat object — a BENCH_serve.json row — containing only deterministic
+/// fields (token counts, stream hash, simulated rates); wall-clock stays
+/// in the recorder's meta block.
+struct Report {
+  std::string model;
+  std::string matmul;
+  std::string nonlinear;
+  int max_batch = 0;
+  bool has_cost = false;  ///< simulated timing fields are meaningful
+
+  std::vector<RequestResult> results;  ///< submit() order
+
+  std::int64_t requests = 0;       ///< submitted
+  std::int64_t completed = 0;      ///< finished with ok
+  std::int64_t prompt_tokens = 0;  ///< across completed requests
+  std::int64_t generated_tokens = 0;
+  std::int64_t engine_steps = 0;  ///< ticks the batch loop executed
+  /// Mean number of active requests per tick (batching effectiveness).
+  double mean_batch_occupancy = 0.0;
+  /// FNV-1a over (id, generated tokens) of completed requests: one exact
+  /// CI field that pins every token of every stream.
+  std::uint32_t stream_hash = 0;
+
+  // Simulated aggregates (valid when has_cost).
+  std::int64_t simulated_macs = 0;
+  double total_seconds = 0.0;  ///< sum of per-tick simulated latencies
+  double throughput_tokens_per_second = 0.0;
+  double ttft_mean_seconds = 0.0;
+  double p50_step_seconds = 0.0;  ///< percentiles over per-token latencies
+  double p95_step_seconds = 0.0;
+  double p99_step_seconds = 0.0;
+  double energy_j = 0.0;  ///< accumulated accelerator energy
+
+  double wall_seconds = 0.0;  ///< host wall-clock of run(); never gated
+
+  /// Flat JSON row for tools/record_serve; deterministic fields only.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace bbal::serve

@@ -1,0 +1,57 @@
+#include "serve/workload.hpp"
+
+#include "bbal/registry.hpp"
+#include "common/rng.hpp"
+#include "llm/decoder.hpp"
+
+namespace bbal::serve {
+
+std::vector<Request> synthetic_requests(const llm::ModelConfig& config,
+                                        int count, int base_prompt_len,
+                                        int max_new_tokens,
+                                        std::uint64_t seed) {
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Per-request stream: staggered lengths exercise different context
+    // depths inside one batch (the continuous-batching case).
+    Rng rng(seed ^ (static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull));
+    Request req;
+    req.max_new_tokens = max_new_tokens;
+    const int prompt_len = base_prompt_len + 2 * (i % 5);
+    req.prompt.reserve(static_cast<std::size_t>(prompt_len));
+    for (int t = 0; t < prompt_len; ++t)
+      req.prompt.push_back(
+          static_cast<int>(rng.uniform_int(0, config.vocab - 1)));
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+std::vector<int> reference_decode(const llm::PreparedModel& prepared,
+                                  const quant::StrategySpec& matmul,
+                                  const Request& request) {
+  auto mm = BackendRegistry::instance().make_matmul(matmul).expect(
+      "reference_decode matmul backend");
+  llm::Fp32NonlinearBackend nl;
+  llm::Transformer model(prepared.config, prepared.weights, *mm, nl);
+  model.set_logit_scale(prepared.logit_scale);
+  llm::Decoder decoder(model);
+
+  std::vector<float> logits;
+  for (const int token : request.prompt) logits = decoder.step(token);
+  std::vector<int> generated;
+  while (static_cast<int>(generated.size()) < request.max_new_tokens) {
+    int best = 0;
+    for (int i = 1; i < static_cast<int>(logits.size()); ++i)
+      if (logits[static_cast<std::size_t>(i)] >
+          logits[static_cast<std::size_t>(best)])
+        best = i;
+    generated.push_back(best);
+    if (static_cast<int>(generated.size()) == request.max_new_tokens) break;
+    logits = decoder.step(best);
+  }
+  return generated;
+}
+
+}  // namespace bbal::serve

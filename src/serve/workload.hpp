@@ -1,0 +1,31 @@
+// Deterministic synthetic serving traffic: the request mix used by
+// bench_serve_throughput, tools/record_serve and the serving tests. Seeded
+// prompts over the model's vocabulary with staggered lengths, so every
+// consumer (and every CI run) replays the identical token streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "llm/perplexity.hpp"
+#include "quant/strategy.hpp"
+#include "serve/request.hpp"
+
+namespace bbal::serve {
+
+/// `count` requests over `config`'s vocabulary. Prompt i has
+/// base_prompt_len + 2*(i % 5) tokens drawn from Rng(seed ^ i-mix), and a
+/// budget of max_new_tokens. Pure function of its arguments.
+[[nodiscard]] std::vector<Request> synthetic_requests(
+    const llm::ModelConfig& config, int count, int base_prompt_len = 12,
+    int max_new_tokens = 16, std::uint64_t seed = 2024);
+
+/// Reference path: decode one request alone, on a fresh backend pair
+/// (`matmul` + FP32 nonlinear), greedy sampling — the stream a batched
+/// Engine run must reproduce bit for bit (bench_serve_throughput and
+/// test_serve hold the engine to this). Aborts on an unknown strategy.
+[[nodiscard]] std::vector<int> reference_decode(
+    const llm::PreparedModel& prepared, const quant::StrategySpec& matmul,
+    const Request& request);
+
+}  // namespace bbal::serve

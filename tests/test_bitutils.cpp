@@ -59,7 +59,8 @@ TEST(BitUtils, ShrRneMatchesRealRounding) {
   // Cross-check against double rounding for a sweep of values/shifts.
   for (std::uint64_t v = 0; v < 4096; v += 7) {
     for (int s = 1; s < 10; ++s) {
-      const double exact = static_cast<double>(v) / static_cast<double>(1u << s);
+      const double exact =
+          static_cast<double>(v) / static_cast<double>(1u << s);
       const double expected = std::nearbyint(exact);
       EXPECT_EQ(static_cast<double>(shr_rne(v, s)), expected)
           << "v=" << v << " s=" << s;

@@ -109,7 +109,8 @@ TEST(PeDesigns, StrategyLookupRoundTrips) {
 TEST(EnergyModel, MacEnergyOrderingTracksArea) {
   const double e_int8 = int_mac(8).mac_energy_fj(lib());
   const double e_fp16 = fp16_mac().mac_energy_fj(lib());
-  const double e_bfp4 = bfp_mac(quant::BlockFormat::bfp(4)).mac_energy_fj(lib());
+  const double e_bfp4 =
+      bfp_mac(quant::BlockFormat::bfp(4)).mac_energy_fj(lib());
   EXPECT_GT(e_fp16, e_int8);
   EXPECT_GT(e_int8, e_bfp4);
   EXPECT_GT(e_bfp4, 0.0);

@@ -1,0 +1,111 @@
+// llm::Decoder: reset() really clears the attention state, stepping after
+// a reset is bit-identical to a fresh decoder, and the engine-owned
+// KVCache path (step(token, cache)) reproduces the owned-cache path — the
+// contract the serving engine's slot reuse rests on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "llm/decoder.hpp"
+#include "llm/model.hpp"
+
+namespace bbal::llm {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig cfg;
+  cfg.name = "decoder-test";
+  cfg.vocab = 64;
+  cfg.d_model = 48;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 72;
+  cfg.seed = 5;
+  return cfg;
+}
+
+/// Weights + FP32 backends shared by the suite.
+struct Fixture {
+  Fixture() : config(tiny_config()), weights(generate_weights(config)) {}
+  ModelConfig config;
+  TransformerWeights weights;
+  Fp32MatmulBackend mm;
+  Fp32NonlinearBackend nl;
+};
+
+const std::vector<int> kTokens = {3, 17, 42, 9, 9, 60, 1};
+
+TEST(Decoder, ResetClearsState) {
+  Fixture f;
+  Transformer model(f.config, f.weights, f.mm, f.nl);
+  Decoder decoder(model);
+  for (const int t : kTokens) (void)decoder.step(t);
+  EXPECT_EQ(decoder.context_length(), static_cast<int>(kTokens.size()));
+  decoder.reset();
+  EXPECT_EQ(decoder.context_length(), 0);
+}
+
+TEST(Decoder, StepAfterResetMatchesFreshDecoder) {
+  Fixture f;
+  Transformer model(f.config, f.weights, f.mm, f.nl);
+
+  // Pollute a decoder with one sequence, then reset it.
+  Decoder used(model);
+  for (const int t : kTokens) (void)used.step(t);
+  used.reset();
+
+  Decoder fresh(model);
+  for (const int t : kTokens) {
+    const std::vector<float> a = used.step(t);
+    const std::vector<float> b = fresh.step(t);
+    ASSERT_EQ(a, b);  // bit-identical logits at every position
+  }
+  EXPECT_EQ(used.context_length(), fresh.context_length());
+}
+
+TEST(Decoder, ExternalCacheMatchesOwnedCache) {
+  Fixture f;
+  Transformer model(f.config, f.weights, f.mm, f.nl);
+  Decoder owned(model);
+  Decoder external(model);
+  KVCache cache = external.make_cache();
+  EXPECT_EQ(cache.length(), 0);
+
+  for (const int t : kTokens) {
+    const std::vector<float> a = owned.step(t);
+    const std::vector<float> b = external.step(t, cache);
+    ASSERT_EQ(a, b);
+  }
+  EXPECT_EQ(cache.length(), static_cast<int>(kTokens.size()));
+  // The external path leaves the decoder's own cache untouched.
+  EXPECT_EQ(external.context_length(), 0);
+
+  cache.clear();
+  EXPECT_EQ(cache.length(), 0);
+}
+
+TEST(Decoder, OneDecoderServesInterleavedCaches) {
+  // Slot reuse in the serving engine: one decoder alternates between two
+  // requests' caches and each sequence must be unaffected by the other.
+  Fixture f;
+  Transformer model(f.config, f.weights, f.mm, f.nl);
+  const std::vector<int> seq_a = {1, 2, 3, 4, 5};
+  const std::vector<int> seq_b = {50, 40, 30, 20, 10};
+
+  Decoder ref_a(model);
+  Decoder ref_b(model);
+  std::vector<std::vector<float>> expect_a, expect_b;
+  for (const int t : seq_a) expect_a.push_back(ref_a.step(t));
+  for (const int t : seq_b) expect_b.push_back(ref_b.step(t));
+
+  Decoder shared(model);
+  KVCache cache_a = shared.make_cache();
+  KVCache cache_b = shared.make_cache();
+  for (std::size_t i = 0; i < seq_a.size(); ++i) {
+    EXPECT_EQ(shared.step(seq_a[i], cache_a), expect_a[i]);
+    EXPECT_EQ(shared.step(seq_b[i], cache_b), expect_b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bbal::llm

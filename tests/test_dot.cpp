@@ -12,7 +12,8 @@
 namespace bbal::quant {
 namespace {
 
-std::vector<double> random_vector(Rng& rng, std::size_t n, double outlier_rate) {
+std::vector<double> random_vector(Rng& rng, std::size_t n,
+                                  double outlier_rate) {
   std::vector<double> xs(n);
   for (auto& x : xs) x = rng.heavy_tailed(1.0, outlier_rate, 25.0);
   return xs;

@@ -70,8 +70,10 @@ TEST(Packing, PreservesFlagsAndExponents) {
   const auto data = random_data(5, 64);
   const BlockFormat fmt = BlockFormat::bbfp(6, 3);
   std::vector<EncodedBlock> blocks;
-  blocks.push_back(encode_block(std::span<const double>(data).subspan(0, 32), fmt));
-  blocks.push_back(encode_block(std::span<const double>(data).subspan(32, 32), fmt));
+  blocks.push_back(
+      encode_block(std::span<const double>(data).subspan(0, 32), fmt));
+  blocks.push_back(
+      encode_block(std::span<const double>(data).subspan(32, 32), fmt));
   const std::vector<EncodedBlock> back = unpack_blocks(pack_blocks(blocks));
   ASSERT_EQ(back.size(), 2u);
   for (std::size_t b = 0; b < 2; ++b) {
@@ -89,7 +91,8 @@ class PackingSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
 TEST_P(PackingSweep, RoundTripAcrossConfigs) {
   const auto [m, o] = GetParam();
   const BlockFormat fmt = BlockFormat::bbfp(m, o);
-  const auto data = random_data(100 + static_cast<std::uint64_t>(m * 8 + o), 96);
+  const auto data =
+      random_data(100 + static_cast<std::uint64_t>(m * 8 + o), 96);
   const std::vector<double> q_direct = quantise(data, fmt);
   const std::vector<double> q_packed = unpack_values(pack_values(data, fmt));
   for (std::size_t i = 0; i < data.size(); ++i)

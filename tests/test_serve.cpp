@@ -1,0 +1,230 @@
+// serve::Engine: batched continuous-batching output must be bit-identical
+// to serial single-request decodes at any thread count (the subsystem's
+// acceptance criterion), scheduling must survive malformed requests, and
+// the serving metrics must be internally consistent and deterministic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "bbal/session.hpp"
+#include "common/threadpool.hpp"
+#include "serve/engine.hpp"
+#include "serve/workload.hpp"
+
+namespace bbal {
+namespace {
+
+/// Small, cheap model shared by the suite.
+std::shared_ptr<const llm::PreparedModel> tiny_model() {
+  static const std::shared_ptr<const llm::PreparedModel> prepared = [] {
+    llm::ModelConfig cfg;
+    cfg.name = "serve-test";
+    cfg.vocab = 96;
+    cfg.d_model = 64;
+    cfg.n_layers = 2;
+    cfg.n_heads = 2;
+    cfg.d_ff = 96;
+    cfg.seed = 23;
+    return prepare_shared(cfg, /*eval_tokens=*/96);
+  }();
+  return prepared;
+}
+
+serve::Engine make_engine(const std::string& strategy, int max_batch,
+                          bool with_accelerator = false) {
+  serve::Engine::Options options;
+  options.max_batch = max_batch;
+  if (with_accelerator) {
+    accel::AcceleratorConfig cfg;
+    cfg.array_rows = cfg.array_cols = 8;
+    options.accelerator = cfg;
+  }
+  return serve::Engine::create(tiny_model(), quant::spec_of(strategy),
+                               quant::StrategySpec::fp32(),
+                               std::move(options))
+      .expect("engine");
+}
+
+/// The acceptance check: K batched requests == K serial decodes, bit for
+/// bit, across a thread-count sweep and with fewer slots than requests
+/// (so the scheduler queues, retires and back-fills mid-run).
+void expect_batched_matches_serial(int threads) {
+  common::ThreadPool::set_global_threads(threads);
+  const auto prepared = tiny_model();
+  const std::vector<serve::Request> requests = serve::synthetic_requests(
+      prepared->config, /*count=*/8, /*base_prompt_len=*/6,
+      /*max_new_tokens=*/10);
+
+  serve::Engine engine = make_engine("BBFP(4,2)", /*max_batch=*/3);
+  for (const serve::Request& req : requests) engine.submit(req);
+  const serve::Report report = engine.run();
+  common::ThreadPool::set_global_threads(common::ThreadPool::env_threads());
+
+  ASSERT_EQ(report.results.size(), requests.size());
+  EXPECT_EQ(report.completed, static_cast<std::int64_t>(requests.size()));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::vector<int> reference = serve::reference_decode(
+        *prepared, quant::spec_of("BBFP(4,2)"), requests[i]);
+    EXPECT_TRUE(report.results[i].ok) << report.results[i].error;
+    EXPECT_EQ(report.results[i].generated, reference)
+        << "request " << i << " diverged at " << threads << " threads";
+  }
+}
+
+TEST(ServeEngine, BatchedMatchesSerialSingleThread) {
+  expect_batched_matches_serial(1);
+}
+
+TEST(ServeEngine, BatchedMatchesSerialFourThreads) {
+  expect_batched_matches_serial(4);
+}
+
+TEST(ServeEngine, RunsAreDeterministic) {
+  const std::vector<serve::Request> requests =
+      serve::synthetic_requests(tiny_model()->config, 5, 4, 6);
+  serve::Engine engine = make_engine("BFP4", /*max_batch=*/2,
+                                     /*with_accelerator=*/true);
+  for (const serve::Request& req : requests) engine.submit(req);
+  const serve::Report first = engine.run();
+  for (const serve::Request& req : requests) engine.submit(req);
+  const serve::Report second = engine.run();
+
+  EXPECT_EQ(first.stream_hash, second.stream_hash);
+  EXPECT_EQ(first.generated_tokens, second.generated_tokens);
+  EXPECT_EQ(first.engine_steps, second.engine_steps);
+  EXPECT_DOUBLE_EQ(first.total_seconds, second.total_seconds);
+  EXPECT_DOUBLE_EQ(first.p99_step_seconds, second.p99_step_seconds);
+  EXPECT_DOUBLE_EQ(first.energy_j, second.energy_j);
+}
+
+TEST(ServeEngine, MetricsAreConsistent) {
+  const int kRequests = 6;
+  const int kNewTokens = 8;
+  serve::Engine engine = make_engine("BBFP(4,2)", /*max_batch=*/2,
+                                     /*with_accelerator=*/true);
+  for (const serve::Request& req : serve::synthetic_requests(
+           tiny_model()->config, kRequests, 4, kNewTokens))
+    engine.submit(req);
+  EXPECT_EQ(engine.pending(), static_cast<std::size_t>(kRequests));
+  const serve::Report report = engine.run();
+  EXPECT_EQ(engine.pending(), 0u);
+
+  ASSERT_TRUE(report.has_cost);
+  EXPECT_EQ(report.completed, kRequests);
+  EXPECT_EQ(report.generated_tokens,
+            static_cast<std::int64_t>(kRequests) * kNewTokens);
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_GT(report.throughput_tokens_per_second, 0.0);
+  EXPECT_GT(report.simulated_macs, 0);
+  EXPECT_GT(report.energy_j, 0.0);
+  EXPECT_GT(report.p50_step_seconds, 0.0);
+  EXPECT_LE(report.p50_step_seconds, report.p95_step_seconds);
+  EXPECT_LE(report.p95_step_seconds, report.p99_step_seconds);
+  EXPECT_GT(report.mean_batch_occupancy, 0.0);
+  EXPECT_LE(report.mean_batch_occupancy, 2.0);  // max_batch slots
+
+  for (const serve::RequestResult& r : report.results) {
+    ASSERT_TRUE(r.ok);
+    EXPECT_GT(r.ttft_seconds, 0.0);
+    EXPECT_GE(r.total_seconds, r.ttft_seconds);
+    EXPECT_GT(r.tokens_per_second, 0.0);
+    EXPECT_GE(r.steps, r.prompt_tokens + kNewTokens - 1);
+  }
+  // Later arrivals queue behind the 2 slots, so their TTFT (measured from
+  // arrival) must include the wait.
+  EXPECT_GT(report.results.back().ttft_seconds,
+            report.results.front().ttft_seconds);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"matmul\": \"BBFP(4,2)\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stream_hash\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_step_seconds\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"wall_seconds\""), std::string::npos)
+      << "wall-clock must stay out of gated rows: " << json;
+}
+
+TEST(ServeEngine, IsolatesMalformedRequests) {
+  serve::Engine engine = make_engine("BFP4", /*max_batch=*/2);
+  serve::Request good;
+  good.prompt = {1, 2, 3};
+  good.max_new_tokens = 4;
+  serve::Request empty;  // no prompt
+  serve::Request bad_budget;
+  bad_budget.prompt = {4};
+  bad_budget.max_new_tokens = 0;
+  serve::Request bad_token;
+  bad_token.prompt = {5, 4096};  // out of the 96-token vocabulary
+  engine.submit(good);
+  engine.submit(empty);
+  engine.submit(bad_budget);
+  engine.submit(bad_token);
+  const serve::Report report = engine.run();
+
+  ASSERT_EQ(report.results.size(), 4u);
+  EXPECT_TRUE(report.results[0].ok);
+  EXPECT_EQ(static_cast<int>(report.results[0].generated.size()), 4);
+  EXPECT_FALSE(report.results[1].ok);
+  EXPECT_NE(report.results[1].error.find("empty"), std::string::npos);
+  EXPECT_FALSE(report.results[2].ok);
+  EXPECT_NE(report.results[2].error.find("max_new_tokens"),
+            std::string::npos);
+  EXPECT_FALSE(report.results[3].ok);
+  EXPECT_NE(report.results[3].error.find("vocabulary"), std::string::npos);
+  EXPECT_EQ(report.completed, 1);
+}
+
+TEST(ServeEngine, CreateRejectsBadConfigurations) {
+  serve::Engine::Options options;
+  options.max_batch = 0;
+  EXPECT_FALSE(serve::Engine::create(tiny_model(), quant::spec_of("BFP4"),
+                                     quant::StrategySpec::fp32(),
+                                     std::move(options))
+                   .is_ok());
+
+  // A nonlinear-only strategy cannot be the matmul backend.
+  EXPECT_FALSE(
+      serve::Engine::create(tiny_model(), "PseudoSoftmax", "FP32").is_ok());
+  // Unknown names surface as errors, not aborts.
+  EXPECT_FALSE(serve::Engine::create(tiny_model(), "bogus", "FP32").is_ok());
+  // FP32 has no hardware cost model: an accelerator is a build error.
+  serve::Engine::Options accel_options;
+  accel_options.max_batch = 1;
+  accel_options.accelerator = accel::AcceleratorConfig{};
+  const auto r =
+      serve::Engine::create(tiny_model(), quant::StrategySpec::fp32(),
+                            quant::StrategySpec::fp32(),
+                            std::move(accel_options));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.message().find("cost model"), std::string::npos) << r.message();
+}
+
+TEST(ServeEngine, FromSessionServesTheSessionConfiguration) {
+  accel::AcceleratorConfig cfg;
+  cfg.array_rows = cfg.array_cols = 8;
+  auto session = Session::Builder()
+                     .prepared(tiny_model())
+                     .matmul("BBFP(4,2)")
+                     .accelerator(cfg)
+                     .build()
+                     .expect("session");
+  auto engine =
+      serve::Engine::from_session(session, /*max_batch=*/2).expect("engine");
+  EXPECT_EQ(engine.matmul_strategy().to_string(), "BBFP(4,2)");
+  EXPECT_TRUE(engine.has_accelerator());
+  EXPECT_EQ(engine.model_config().name, "serve-test");
+
+  serve::Request req;
+  req.prompt = {7, 8, 9};
+  req.max_new_tokens = 5;
+  engine.submit(req);
+  const serve::Report report = engine.run();
+  ASSERT_EQ(report.completed, 1);
+  EXPECT_EQ(report.results[0].generated,
+            serve::reference_decode(*tiny_model(),
+                                    quant::spec_of("BBFP(4,2)"), req));
+}
+
+}  // namespace
+}  // namespace bbal

@@ -54,7 +54,8 @@ TEST(Matvec, MatchesMatmulRow) {
   const Matrix c = matmul(a, b);
   std::vector<float> out(9);
   matvec(a.row(0), b, out);
-  for (int j = 0; j < 9; ++j) EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(j)], c.at(0, j));
+  for (int j = 0; j < 9; ++j)
+    EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(j)], c.at(0, j));
 }
 
 TEST(RmsNorm, UnitGainNormalisesRms) {

@@ -146,7 +146,8 @@ TEST(ThreadPool, EmptyAndReversedRangesAreNoOps) {
   int count = 0;
   pool.parallel_for(0, 0, [&](std::int64_t) { ++count; });
   pool.parallel_for(10, 3, [&](std::int64_t) { ++count; });
-  pool.parallel_for_tiles(0, 5, 2, 2, [&](const ThreadPool::Tile&) { ++count; });
+  pool.parallel_for_tiles(0, 5, 2, 2,
+                          [&](const ThreadPool::Tile&) { ++count; });
   EXPECT_EQ(count, 0);
 }
 

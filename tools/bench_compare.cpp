@@ -1,6 +1,6 @@
-// bench_compare — diff two BENCH_table2.json-shaped files and fail (exit 1)
-// on regression. CI runs it after record_table2 so the committed baseline
-// gates every PR.
+// bench_compare — diff two BENCH_*.json-shaped files (Table 2 sweeps,
+// serving runs) and fail (exit 1) on regression. CI runs it after
+// record_table2 / record_serve so the committed baselines gate every PR.
 //
 // Accepted shapes: {"meta": {...}, "rows": [...]} (current) or a bare
 // array of row objects (legacy). Rows are matched by their
@@ -8,14 +8,20 @@
 //
 // Field rules:
 //  - model-quality and simulated-cost fields must match *exactly*
-//    (perplexity, memory footprint, energy, cycles, MAC/GEMM counts): the
-//    engine guarantees bit-identical numerics at any thread count, so any
-//    drift is a real regression;
-//  - rate-like fields (seconds, throughput_gops) get a relative tolerance,
-//    ±10% by default (--tol 0.1 to override);
+//    (perplexity, memory footprint, energy, cycles, MAC/token/GEMM
+//    counts, stream hashes): the engines guarantee bit-identical numerics
+//    at any thread count, so any drift is a real regression;
+//  - rate-like fields (anything named *seconds* or *throughput*, e.g.
+//    "seconds", "throughput_gops", "p99_step_seconds",
+//    "throughput_tokens_per_second") get a relative tolerance, ±10% by
+//    default (--tol 0.1 to override);
 //  - a field or row present in the baseline but missing from the candidate
-//    is a regression; extra candidate fields/rows are reported but pass
-//    (they are new coverage, not lost coverage).
+//    is a regression; a field or row present only in the candidate is
+//    reported as a named EXTRA warning and passes (new coverage, not lost
+//    coverage — but never silently skipped).
+//
+// Every mismatch is reported before the exit code is decided: a
+// multi-field regression shows all offending fields in one CI log.
 //
 // Usage: bench_compare <baseline.json> <candidate.json> [--tol FRACTION]
 #include <cmath>
@@ -203,10 +209,13 @@ class JsonParser {
 
 // --- Comparison -------------------------------------------------------------
 
-/// Fields allowed to drift within the relative tolerance: wall-clock-like
-/// rates. Everything else must be bit-identical (see file header).
+/// Fields allowed to drift within the relative tolerance: time- and
+/// rate-like metrics ("seconds", "throughput_gops", the serving report's
+/// "*_seconds" latencies and "throughput_tokens_per_second"). Everything
+/// else must be bit-identical (see file header).
 bool is_rate_field(const std::string& key) {
-  return key == "seconds" || key == "throughput_gops";
+  return key.find("seconds") != std::string::npos ||
+         key.find("throughput") != std::string::npos;
 }
 
 struct Rows {
@@ -278,7 +287,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--tol" && i + 1 < argc) {
-      tol = std::atof(argv[++i]);
+      // A typo'd tolerance must not silently become exact-match (0.0).
+      char* end = nullptr;
+      tol = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || tol < 0.0) {
+        std::fprintf(stderr, "bench_compare: bad --tol value \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: bench_compare <baseline.json> <candidate.json> "
@@ -307,10 +323,17 @@ int main(int argc, char** argv) {
     return 2;
 
   int regressions = 0;
+  int warnings = 0;
   int checked_fields = 0;
   auto regress = [&](const std::string& what) {
     std::printf("REGRESSION  %s\n", what.c_str());
     ++regressions;
+  };
+  // One-sided fields/rows must be *named*, never silently skipped: a
+  // renamed metric would otherwise vanish from the gate unnoticed.
+  auto warn = [&](const std::string& what) {
+    std::printf("WARNING     %s\n", what.c_str());
+    ++warnings;
   };
 
   for (const std::string& key : baseline.order) {
@@ -334,7 +357,11 @@ int main(int argc, char** argv) {
         ++checked_fields;
         continue;
       }
-      if (bval.kind != JsonValue::Kind::kNumber) continue;
+      if (bval.kind != JsonValue::Kind::kNumber) {
+        warn(key + ": field \"" + field +
+             "\" has a non-scalar baseline value, not compared");
+        continue;
+      }
       if (cval->kind != JsonValue::Kind::kNumber) {
         regress(key + ": " + field + " is no longer a number");
         continue;
@@ -347,8 +374,9 @@ int main(int argc, char** argv) {
         const double rel = std::fabs(c - b) / denom;
         if (rel > tol) {
           char msg[256];
-          std::snprintf(msg, sizeof msg, "%s: %s %.6g -> %.6g (%+.1f%% > %.0f%%)",
-                        key.c_str(), field.c_str(), b, c, (c / b - 1.0) * 100.0,
+          std::snprintf(msg, sizeof msg,
+                        "%s: %s %.6g -> %.6g (%+.1f%% > %.0f%%)", key.c_str(),
+                        field.c_str(), b, c, (c / b - 1.0) * 100.0,
                         tol * 100.0);
           regress(msg);
         }
@@ -360,15 +388,23 @@ int main(int argc, char** argv) {
         regress(msg);
       }
     }
+    // Candidate-only fields: new coverage, named so a renamed metric is
+    // visible in the log instead of silently dropping out of the gate.
+    for (const auto& [field, cval] : crow.object)
+      if (brow.find(field) == nullptr)
+        warn(key + ": field \"" + field +
+             "\" only in candidate (not in baseline, not gated)");
   }
 
   // New coverage in the candidate: report, never fail.
   for (const std::string& key : candidate.order)
     if (baseline.by_key.count(key) == 0)
-      std::printf("NEW ROW     %s (not in baseline, ignored)\n", key.c_str());
+      warn("row only in candidate (not in baseline, not gated): " + key);
 
   std::printf("bench_compare: %zu baseline rows, %d fields checked, "
-              "%d regression(s), tolerance ±%.0f%% on rate fields\n",
-              baseline.order.size(), checked_fields, regressions, tol * 100.0);
+              "%d regression(s), %d warning(s), tolerance ±%.0f%% on rate "
+              "fields\n",
+              baseline.order.size(), checked_fields, regressions, warnings,
+              tol * 100.0);
   return regressions == 0 ? 0 : 1;
 }

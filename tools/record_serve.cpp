@@ -1,0 +1,166 @@
+// Record a serving baseline: the continuous-batching engine serves one
+// deterministic request mix under each strategy, and every row's metrics
+// land in one JSON file. CI diffs a fresh run against the committed
+// BENCH_serve.json with tools/bench_compare — token counts and the stream
+// hash must stay bit-identical at any thread count (the engine's
+// determinism contract); simulated seconds/throughput get the rate
+// tolerance. Host wall-clock stays in "meta" (informational, never gated).
+//
+// Output shape: {"meta": {...}, "rows": [...one object per strategy...]},
+// the same contract as tools/record_table2.
+//
+// Usage: ./build/tools/record_serve [out.json] [--threads N]
+// Env:   BBAL_MODEL (default Llama-7B), BBAL_EVAL_TOKENS (default 128),
+//        BBAL_SERVE_REQUESTS (default 8), BBAL_SERVE_NEW_TOKENS (default
+//        16), BBAL_SERVE_BATCH (default 4), BBAL_THREADS (--threads wins)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bbal/registry.hpp"
+#include "common/threadpool.hpp"
+#include "serve/engine.hpp"
+#include "serve/workload.hpp"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bbal;
+
+  std::string out_path = "BENCH_serve.json";
+  bool have_out_path = false;
+  int threads_flag = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "record_serve: --threads needs a value\n");
+        return 2;
+      }
+      threads_flag = std::atoi(argv[++i]);
+      if (threads_flag <= 0) {
+        std::fprintf(stderr, "record_serve: bad --threads value \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "usage: record_serve [out.json] [--threads N]\n");
+      return 0;
+    } else if (arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "record_serve: unknown option \"%s\"\n",
+                   arg.c_str());
+      return 2;
+    } else if (have_out_path) {
+      std::fprintf(stderr, "record_serve: unexpected argument \"%s\"\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      out_path = arg;
+      have_out_path = true;
+    }
+  }
+  // The knob must land before the first ThreadPool::global() use.
+  if (threads_flag > 0) common::ThreadPool::set_global_threads(threads_flag);
+
+  const char* model_env = std::getenv("BBAL_MODEL");
+  const std::string model_name = model_env != nullptr ? model_env : "Llama-7B";
+  const int eval_tokens = env_int("BBAL_EVAL_TOKENS", 128);
+  const int num_requests = env_int("BBAL_SERVE_REQUESTS", 8);
+  const int new_tokens = env_int("BBAL_SERVE_NEW_TOKENS", 16);
+  const int max_batch = env_int("BBAL_SERVE_BATCH", 4);
+
+  // The serving rows of the paper's strategy space: the FP32 reference, the
+  // INT8 ASIC baseline, classic BFP and the BBAL formats.
+  const std::vector<std::string> strategies = {"FP32", "INT8", "BFP4",
+                                               "BBFP(4,2)", "BBFP(6,3)"};
+
+  std::fprintf(stderr,
+               "serving %d requests (x%d tokens, batch %d) on %s under %zu "
+               "strategies...\n",
+               num_requests, new_tokens, max_batch, model_name.c_str(),
+               strategies.size());
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto prepared = prepare_shared(model_name, eval_tokens);
+  const std::vector<serve::Request> requests = serve::synthetic_requests(
+      prepared->config, num_requests, /*base_prompt_len=*/12, new_tokens);
+
+  std::vector<std::string> rows;
+  for (const std::string& strategy : strategies) {
+    const auto spec = quant::StrategySpec::parse(strategy);
+    if (!spec.is_ok()) {
+      std::fprintf(stderr, "  %s: %s\n", strategy.c_str(),
+                   spec.message().c_str());
+      return 1;
+    }
+    serve::Engine::Options options;
+    options.max_batch = max_batch;
+    // Iso-area accelerators (Fig. 8's comparison rule) price the rows
+    // whose strategy has a PE design.
+    if (BackendRegistry::instance().has_cost_model(spec.value())) {
+      auto cfg = accel::make_iso_area_config(spec.value(),
+                                             /*pe_area_budget_um2=*/150000.0);
+      if (!cfg.is_ok()) {
+        std::fprintf(stderr, "  %s: %s\n", strategy.c_str(),
+                     cfg.message().c_str());
+        return 1;
+      }
+      options.accelerator = std::move(cfg).value();
+    }
+    auto engine = serve::Engine::create(prepared, spec.value(),
+                                        quant::StrategySpec::fp32(),
+                                        std::move(options));
+    if (!engine.is_ok()) {
+      std::fprintf(stderr, "  %s: %s\n", strategy.c_str(),
+                   engine.message().c_str());
+      return 1;
+    }
+    for (const serve::Request& req : requests) engine.value().submit(req);
+    const serve::Report report = engine.value().run();
+    if (report.completed != report.requests) {
+      std::fprintf(stderr, "  %s: only %lld of %lld requests completed\n",
+                   strategy.c_str(),
+                   static_cast<long long>(report.completed),
+                   static_cast<long long>(report.requests));
+      return 1;
+    }
+    std::fprintf(stderr, "  %s: %lld tokens, hash %u\n", strategy.c_str(),
+                 static_cast<long long>(report.generated_tokens),
+                 report.stream_hash);
+    rows.push_back(report.to_json());
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n\"meta\": {\"model\": \"%s\", \"eval_tokens\": %d, "
+               "\"requests\": %d, \"new_tokens\": %d, \"max_batch\": %d, "
+               "\"threads\": %d, \"hardware_concurrency\": %u, "
+               "\"wall_seconds\": %.6g},\n\"rows\": [\n",
+               model_name.c_str(), eval_tokens, num_requests, new_tokens,
+               max_batch, common::ThreadPool::global().thread_count(),
+               std::thread::hardware_concurrency(), wall_seconds);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    std::fprintf(out, "%s  %s", i == 0 ? "" : ",\n", rows[i].c_str());
+  std::fprintf(out, "\n]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s (%.2fs wall-clock)\n", out_path.c_str(),
+               wall_seconds);
+  return 0;
+}
