@@ -7,9 +7,19 @@
 // percentiles, aggregate tokens/s and energy, all priced on the paper's
 // 16x16 accelerator (simulated clock, bit-identical across hosts).
 //
-// Correctness gate (the acceptance check of the serving engine): the
-// BBFP(4,2) batched run must produce bit-identical token streams to serial
-// single-request decodes — at any BBAL_THREADS. Exit is non-zero if not.
+// A second table serves a shared-prefix mix (every request opens with the
+// same system-prompt-style prefix) under each scheduler policy — fifo,
+// sjf, prefix-aware — showing what paged prefix sharing buys in KV bytes,
+// pages and engine ticks (docs/SERVING.md walks through the columns).
+//
+// Correctness gates (the acceptance checks of the serving engine), exit
+// non-zero if either fails:
+//  1. the BBFP(4,2) batched paged run must produce bit-identical token
+//     streams to serial contiguous-cache decodes — at any BBAL_THREADS;
+//  2. under prefix-aware scheduling the shared-prefix mix's kv_bytes_peak
+//     must be strictly lower than the monolithic-cache equivalent
+//     (kv_bytes_peak_contiguous), and its streams must hash identically
+//     to the fifo run's.
 //
 // Env: BBAL_MODEL (default Llama-7B), BBAL_EVAL_TOKENS (default 128),
 //      BBAL_SERVE_REQUESTS (default 8), BBAL_SERVE_NEW_TOKENS (default 16),
@@ -22,6 +32,7 @@
 #include "bbal/registry.hpp"
 #include "common/table.hpp"
 #include "serve/engine.hpp"
+#include "serve/policy.hpp"
 #include "serve/workload.hpp"
 
 namespace {
@@ -93,7 +104,47 @@ int main() {
   }
   table.print();
 
-  // --- Bit-identity gate: batched BBFP(4,2) vs serial decodes ---
+  // --- Scheduler policies over a shared-prefix mix ---
+  // Multi-user traffic with one system prompt: every request opens with
+  // the same 64-token prefix. Prefix-aware scheduling stores that prefix
+  // once in the paged pool; fifo/sjf recompute and re-store it per
+  // request. Token streams are policy-invariant (bit-identical hashes).
+  std::printf("\nScheduler policies, %d requests sharing a 64-token "
+              "prefix, BBFP(4,2):\n",
+              num_requests);
+  const std::vector<serve::Request> shared_mix =
+      serve::shared_prefix_requests(prepared->config, num_requests,
+                                    /*prefix_len=*/64, /*suffix_len=*/4,
+                                    new_tokens);
+  TextTable policy_table({"Policy", "Ticks", "KV pages", "KV peak KB",
+                          "Monolithic KB", "Hit rate", "Hash"});
+  std::vector<serve::Report> policy_reports;
+  for (const std::string& policy : serve::policy_names()) {
+    serve::Engine::Options options;
+    options.max_batch = max_batch;
+    options.policy = policy;
+    auto engine = serve::Engine::create(prepared, "BBFP(4,2)", "FP32",
+                                        std::move(options))
+                      .expect("engine");
+    for (const serve::Request& req : shared_mix) engine.submit(req);
+    policy_reports.push_back(engine.run());
+    const serve::Report& report = policy_reports.back();
+    policy_table.add_row(
+        {policy, std::to_string(report.engine_steps),
+         std::to_string(report.kv_pages_allocated),
+         TextTable::num(static_cast<double>(report.kv_bytes_peak) / 1024.0,
+                        1),
+         TextTable::num(
+             static_cast<double>(report.kv_bytes_peak_contiguous) / 1024.0,
+             1),
+         TextTable::num(report.prefix_hit_rate, 3),
+         std::to_string(report.stream_hash)});
+  }
+  policy_table.print();
+
+  int failures = 0;
+
+  // --- Gate 1: batched paged BBFP(4,2) vs serial contiguous decodes ---
   std::printf("\nBit-identity check: %d concurrent BBFP(4,2) requests vs "
               "serial decodes...\n",
               num_requests);
@@ -119,5 +170,23 @@ int main() {
               mismatches == 0 ? "PASS" : "FAIL",
               static_cast<int>(requests.size()) - mismatches, requests.size(),
               report.stream_hash);
-  return mismatches == 0 ? 0 : 1;
+  failures += mismatches == 0 ? 0 : 1;
+
+  // --- Gate 2: prefix-aware page sharing beats monolithic caches ---
+  const serve::Report& fifo_report = policy_reports.front();
+  const serve::Report& aware_report = policy_reports.back();
+  const bool hashes_match =
+      aware_report.stream_hash == fifo_report.stream_hash;
+  const bool peak_lower =
+      aware_report.kv_bytes_peak < aware_report.kv_bytes_peak_contiguous;
+  std::printf("\nPrefix-sharing check: prefix-aware peak %lld B %s "
+              "monolithic %lld B, hash %s fifo's\n",
+              static_cast<long long>(aware_report.kv_bytes_peak),
+              peak_lower ? "<" : ">=",
+              static_cast<long long>(aware_report.kv_bytes_peak_contiguous),
+              hashes_match ? "==" : "!=");
+  std::printf("  %s\n", peak_lower && hashes_match ? "PASS" : "FAIL");
+  failures += peak_lower && hashes_match ? 0 : 1;
+
+  return failures == 0 ? 0 : 1;
 }

@@ -1,6 +1,9 @@
 // Serving demo: stand up a continuous-batching engine over a quantised
 // Session and serve a handful of concurrent generation requests, printing
-// per-request TTFT / latency / tokens-per-second and the batch aggregate.
+// per-request TTFT / latency / tokens-per-second and the batch aggregate —
+// then re-serve a shared-prefix mix under the prefix-aware scheduler to
+// show paged KV prefix sharing at work. docs/SERVING.md walks through the
+// output line by line.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/serving_demo
@@ -57,5 +60,46 @@ int main() {
       report.total_seconds * 1e3, report.throughput_tokens_per_second,
       report.p99_step_seconds * 1e3, report.mean_batch_occupancy,
       report.max_batch, report.stream_hash);
+  std::printf("KV pool: %lld pages allocated, peak %.1f KB "
+              "(monolithic caches: %.1f KB)\n",
+              static_cast<long long>(report.kv_pages_allocated),
+              static_cast<double>(report.kv_bytes_peak) / 1024.0,
+              static_cast<double>(report.kv_bytes_peak_contiguous) / 1024.0);
+
+  // 3. Same engine configuration, prefix-aware scheduling, and a mix
+  //    where every request opens with the same 48-token system prompt:
+  //    followers attach the leader's KV pages instead of recomputing
+  //    them, so prefill work and peak KV bytes both drop while the token
+  //    streams stay bit-identical to any other policy's.
+  std::printf("\nPrefix sharing: 6 requests, one 48-token system prompt, "
+              "prefix-aware policy\n");
+  serve::Engine::Options options;
+  options.max_batch = 3;
+  options.policy = "prefix-aware";
+  options.accelerator = accel_cfg;
+  auto aware = serve::Engine::create(model, quant::spec_of("BBFP(4,2)"),
+                                     quant::StrategySpec::fp32(),
+                                     std::move(options))
+                   .expect("engine");
+  for (const serve::Request& req : serve::shared_prefix_requests(
+           model->config, /*count=*/6, /*prefix_len=*/48,
+           /*suffix_len=*/4, /*max_new_tokens=*/12))
+    aware.submit(req);
+  const serve::Report shared = aware.run();
+
+  TextTable sharing({"Request", "Prompt", "Shared", "TTFT ms", "Tok/s"});
+  for (const serve::RequestResult& r : shared.results)
+    sharing.add_row({std::to_string(r.id), std::to_string(r.prompt_tokens),
+                     std::to_string(r.shared_prompt_tokens),
+                     TextTable::num(r.ttft_seconds * 1e3, 3),
+                     TextTable::num(r.tokens_per_second, 0)});
+  sharing.print();
+  std::printf(
+      "\nPrefix hit rate %.2f; KV peak %.1f KB vs %.1f KB monolithic; "
+      "%u stream hash\n",
+      shared.prefix_hit_rate,
+      static_cast<double>(shared.kv_bytes_peak) / 1024.0,
+      static_cast<double>(shared.kv_bytes_peak_contiguous) / 1024.0,
+      shared.stream_hash);
   return 0;
 }

@@ -128,9 +128,11 @@ class Session {
   [[nodiscard]] Result<Report> evaluate();
 
   /// Force the lazy model preparation now and return the shared prepared
-  /// model. Serving (serve::Engine) attaches here: the engine reuses the
-  /// session's calibrated model and strategy pair without running an
-  /// evaluate(). Idempotent — repeat calls return the same model.
+  /// model. Serving (serve::Engine::from_session) attaches here: the
+  /// engine reuses the session's calibrated model, strategy pair and
+  /// accelerator without running an evaluate(), then serves requests over
+  /// its own paged KV pool (serve::PagedKVPool) — see docs/SERVING.md.
+  /// Idempotent — repeat calls return the same model.
   [[nodiscard]] const std::shared_ptr<const llm::PreparedModel>& prepare();
 
   [[nodiscard]] const llm::ModelConfig& model_config() const {

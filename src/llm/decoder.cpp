@@ -17,12 +17,17 @@ KVCache Decoder::make_cache() const {
 std::vector<float> Decoder::step(int token) { return step(token, cache_); }
 
 std::vector<float> Decoder::step(int token, KVCache& cache) {
+  assert(cache.k.size() == static_cast<std::size_t>(model_.config().n_layers));
+  KVCacheRef view(cache);
+  return step(token, view);
+}
+
+std::vector<float> Decoder::step(int token, KVCacheView& view) {
   const ModelConfig& cfg = model_.config();
   const TransformerWeights& w = model_.weights();
   MatmulBackend& mm = model_.matmul_backend();
   NonlinearBackend& nl = model_.nonlinear_backend();
   assert(token >= 0 && token < cfg.vocab);
-  assert(cache.k.size() == static_cast<std::size_t>(cfg.n_layers));
 
   const int d = cfg.d_model;
   const int heads = cfg.n_heads;
@@ -40,12 +45,17 @@ std::vector<float> Decoder::step(int token, KVCache& cache) {
       x.at(0, c) = emb[static_cast<std::size_t>(c)] * emb_scale;
   }
 
+  // The position this step writes; every layer appends at the same index
+  // (KVCacheView protocol), so it is read once, up front.
+  const int pos = view.length();
+  const int ctx = pos + 1;
+  std::vector<std::span<const float>> krows(static_cast<std::size_t>(ctx));
+  std::vector<std::span<const float>> vrows(static_cast<std::size_t>(ctx));
+
   for (int l = 0; l < cfg.n_layers; ++l) {
     const LayerWeights& lw = w.layers[static_cast<std::size_t>(l)];
     const Transformer::LayerHandles& h =
         model_.layer_handles()[static_cast<std::size_t>(l)];
-    auto& kcache = cache.k[static_cast<std::size_t>(l)];
-    auto& vcache = cache.v[static_cast<std::size_t>(l)];
 
     // --- Attention ---
     Matrix normed = x;
@@ -54,9 +64,15 @@ std::vector<float> Decoder::step(int token, KVCache& cache) {
     mm.matmul(normed, h.wq, q);
     mm.matmul(normed, h.wk, k);
     mm.matmul(normed, h.wv, v);
-    kcache.emplace_back(k.row(0).begin(), k.row(0).end());
-    vcache.emplace_back(v.row(0).begin(), v.row(0).end());
-    const int ctx = static_cast<int>(kcache.size());
+    view.append(l, k.row(0), v.row(0));
+    // Row lookups are hoisted out of the per-head loops so a paged view
+    // pays one page-table walk per position, not one per element; the
+    // element read order (and therefore the accumulation order) is
+    // unchanged from the contiguous path.
+    for (int p = 0; p < ctx; ++p) {
+      krows[static_cast<std::size_t>(p)] = view.k_at(l, p);
+      vrows[static_cast<std::size_t>(p)] = view.v_at(l, p);
+    }
 
     Matrix context(1, d);
     std::vector<float> scores(static_cast<std::size_t>(ctx));
@@ -64,7 +80,7 @@ std::vector<float> Decoder::step(int token, KVCache& cache) {
       const int off = head * dh;
       for (int p = 0; p < ctx; ++p) {
         double acc = 0.0;
-        const auto& krow = kcache[static_cast<std::size_t>(p)];
+        const std::span<const float> krow = krows[static_cast<std::size_t>(p)];
         for (int j = 0; j < dh; ++j)
           acc += static_cast<double>(q.at(0, off + j)) *
                  krow[static_cast<std::size_t>(off + j)];
@@ -76,8 +92,8 @@ std::vector<float> Decoder::step(int token, KVCache& cache) {
         double acc = 0.0;
         for (int p = 0; p < ctx; ++p)
           acc += static_cast<double>(scores[static_cast<std::size_t>(p)]) *
-                 vcache[static_cast<std::size_t>(p)]
-                       [static_cast<std::size_t>(off + j)];
+                 vrows[static_cast<std::size_t>(p)]
+                      [static_cast<std::size_t>(off + j)];
         context.at(0, off + j) = static_cast<float>(acc);
       }
     }

@@ -3,13 +3,17 @@
 // decode-phase runtime study (Fig. 1b workload shapes) and to execute the
 // per-request forward steps of the serving engine (serve::Engine).
 //
-// The KV cache is a value type owned by the caller: a Decoder carries one
-// for the classic single-sequence API (step(token)), while the serving
-// engine owns one KVCache per in-flight request and passes it explicitly
-// (step(token, cache)) so a fixed pool of decoders can serve an unbounded
-// stream of requests.
+// Attention state is accessed through KVCacheView, so the same step
+// arithmetic runs over any storage layout: the classic contiguous KVCache
+// value type below (decoder-owned for step(token), caller-owned for
+// step(token, cache)) or the serving engine's block-paged pool
+// (serve::PagedKVPool), whose pages are shared across requests with a
+// common prompt prefix. The step reads identical floats in identical order
+// through either view, so the two layouts are bit-identical by
+// construction (tested in test_paged_kv).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "llm/transformer.hpp"
@@ -39,6 +43,64 @@ struct KVCache {
   std::vector<std::vector<std::vector<float>>> v;
 };
 
+/// Storage-agnostic access to one sequence's attention state. One decode
+/// step follows a strict protocol the implementations may rely on:
+///
+///   1. length() is read once, before any append — it is the position the
+///      step writes to;
+///   2. append(l, k, v) is called exactly once per layer, layers in order
+///      0..n_layers-1, all with that same position;
+///   3. k_at/v_at are only called for layer l after append(l, ...), with
+///      pos <= the step's position, and the returned spans stay valid for
+///      the rest of the step (no reallocation mid-step).
+///
+/// An implementation whose length() is derived from storage (e.g. the
+/// contiguous KVCacheRef below) may therefore report a transiently
+/// inconsistent length mid-step; the decoder never observes it.
+class KVCacheView {
+ public:
+  virtual ~KVCacheView() = default;
+  /// Positions cached so far (the context length before this step).
+  [[nodiscard]] virtual int length() const = 0;
+  /// Store this step's K/V row for `layer` at position length().
+  virtual void append(int layer, std::span<const float> k_row,
+                      std::span<const float> v_row) = 0;
+  /// Cached K/V row of `layer` at `pos` (d_model floats).
+  [[nodiscard]] virtual std::span<const float> k_at(int layer,
+                                                    int pos) const = 0;
+  [[nodiscard]] virtual std::span<const float> v_at(int layer,
+                                                    int pos) const = 0;
+};
+
+/// KVCacheView over a contiguous KVCache: the adapter the value-type APIs
+/// (step(token) / step(token, cache)) run through.
+class KVCacheRef final : public KVCacheView {
+ public:
+  explicit KVCacheRef(KVCache& cache) : cache_(cache) {}
+
+  [[nodiscard]] int length() const override { return cache_.length(); }
+  void append(int layer, std::span<const float> k_row,
+              std::span<const float> v_row) override {
+    cache_.k[static_cast<std::size_t>(layer)].emplace_back(k_row.begin(),
+                                                           k_row.end());
+    cache_.v[static_cast<std::size_t>(layer)].emplace_back(v_row.begin(),
+                                                           v_row.end());
+  }
+  [[nodiscard]] std::span<const float> k_at(int layer,
+                                            int pos) const override {
+    return cache_.k[static_cast<std::size_t>(layer)]
+                  [static_cast<std::size_t>(pos)];
+  }
+  [[nodiscard]] std::span<const float> v_at(int layer,
+                                            int pos) const override {
+    return cache_.v[static_cast<std::size_t>(layer)]
+                  [static_cast<std::size_t>(pos)];
+  }
+
+ private:
+  KVCache& cache_;
+};
+
 class Decoder {
  public:
   /// Borrows the transformer (weights + backends) for its lifetime.
@@ -56,6 +118,13 @@ class Decoder {
   /// model with the same layer count. Bit-identical to the owned-cache
   /// step at the same context.
   [[nodiscard]] std::vector<float> step(int token, KVCache& cache);
+
+  /// Feed one token through an arbitrary cache view (paged serving path).
+  /// The view must hold state of a model with this decoder's layer count
+  /// and d_model, and must have capacity for one more position. All the
+  /// step() overloads run this arithmetic and are bit-identical at the
+  /// same context.
+  [[nodiscard]] std::vector<float> step(int token, KVCacheView& view);
 
   /// A fresh, empty cache sized for this decoder's model.
   [[nodiscard]] KVCache make_cache() const;

@@ -10,20 +10,11 @@
 #include "bbal/registry.hpp"
 #include "common/stats.hpp"
 #include "common/threadpool.hpp"
+#include "hw/sram.hpp"
+#include "serve/workload.hpp"
 
 namespace bbal::serve {
 namespace {
-
-/// Greedy sampling: the arg-max logit, lowest index winning ties, so a
-/// continuation is a deterministic function of the prompt.
-int argmax_token(const std::vector<float>& logits) {
-  int best = 0;
-  for (int i = 1; i < static_cast<int>(logits.size()); ++i)
-    if (logits[static_cast<std::size_t>(i)] >
-        logits[static_cast<std::size_t>(best)])
-      best = i;
-  return best;
-}
 
 /// FNV-1a over the 4 little-endian bytes of `value`.
 void fnv32_mix(std::uint32_t& hash, std::uint32_t value) {
@@ -52,6 +43,14 @@ Result<Engine> Engine::create(
   if (options.max_batch < 1)
     return R::error("max_batch must be >= 1, got " +
                     std::to_string(options.max_batch));
+  if (options.kv_page_tokens < 1)
+    return R::error("kv_page_tokens must be >= 1, got " +
+                    std::to_string(options.kv_page_tokens));
+  if (options.kv_pool_pages < 0)
+    return R::error("kv_pool_pages must be >= 0 (0 = auto), got " +
+                    std::to_string(options.kv_pool_pages));
+  auto policy = make_policy(options.policy);
+  if (!policy.is_ok()) return R::error(policy.message());
 
   const BackendRegistry& registry = BackendRegistry::instance();
   {
@@ -71,6 +70,9 @@ Result<Engine> Engine::create(
   engine.prepared_ = std::move(model);
   engine.matmul_ = matmul;
   engine.nonlinear_ = nonlinear;
+  engine.policy_ = std::move(policy).value();
+  engine.kv_page_tokens_ = options.kv_page_tokens;
+  engine.kv_pool_pages_ = options.kv_pool_pages;
 
   // Accelerator: same binding rule as Session — the engine's matmul
   // strategy drives the cost model, which must therefore exist.
@@ -137,6 +139,7 @@ Report Engine::run() {
   report.model = cfg.name;
   report.matmul = matmul_.to_string();
   report.nonlinear = nonlinear_.to_string();
+  report.policy = std::string(policy_->name());
   report.max_batch = max_batch();
   report.has_cost = accel_.has_value();
 
@@ -174,6 +177,35 @@ Report Engine::run() {
     waiting.push_back(i);
   }
 
+  // --- KV pool: run-scoped, fresh per run (deterministic page ids) ---
+  // A request that runs to its budget appends prompt + max_new - 1
+  // positions (the final generated token is never fed back).
+  const auto total_positions = [](const Request& req) {
+    return static_cast<int>(req.prompt.size()) + req.max_new_tokens - 1;
+  };
+  PagedKVPool::Options kv_options;
+  kv_options.page_tokens = kv_page_tokens_;
+  if (kv_pool_pages_ > 0) {
+    kv_options.max_pages = kv_pool_pages_;
+  } else {
+    // Auto-size: every valid request resident at once (payloads allocate
+    // lazily, so headroom costs page-table slots, not memory).
+    std::int64_t pages = 0;
+    for (const std::size_t i : waiting)
+      pages += (total_positions(requests[i]) + kv_page_tokens_ - 1) /
+               kv_page_tokens_;
+    kv_options.max_pages = static_cast<int>(std::max<std::int64_t>(pages, 1));
+  }
+  PagedKVPool kv(cfg, kv_options);
+  const bool sharing = policy_->wants_prefix_sharing();
+  // The KV buffer macro pricing each tick's cache traffic (has_cost runs).
+  const hw::SramMacro kv_sram = hw::make_sram(
+      static_cast<std::size_t>(kv.max_pages()) *
+      static_cast<std::size_t>(kv.page_bytes()));
+  const std::int64_t token_bytes = static_cast<std::int64_t>(cfg.n_layers) *
+                                   2 * cfg.d_model *
+                                   static_cast<std::int64_t>(sizeof(float));
+
   std::vector<InFlight> active;
   active.reserve(slots_.size());
   // Free-slot stack, kept sorted so the lowest-numbered slot is admitted
@@ -181,39 +213,118 @@ Report Engine::run() {
   std::vector<int> free_slots;
   for (int s = max_batch() - 1; s >= 0; --s) free_slots.push_back(s);
 
+  // Pages the active set is still going to allocate: the admission budget
+  // that keeps mid-run exhaustion impossible under an explicit pool cap.
+  const auto pending_pages = [&] {
+    std::int64_t pending = 0;
+    for (const InFlight& flight : active)
+      pending += kv.pages_for(total_positions(requests[flight.request_index])) -
+                 kv.pages_for(kv.length(flight.seq));
+    return pending;
+  };
+  const auto fits = [&](const Request& req) {
+    const int shared = sharing ? kv.probe_prefix_tokens(req.prompt) : 0;
+    const std::int64_t needed =
+        kv.pages_for(total_positions(req)) - shared / kv.page_tokens();
+    return kv.stats().pages_in_use + pending_pages() + needed <=
+           kv.max_pages();
+  };
+
   std::vector<double> token_latencies;  ///< simulated, per emitted token
   accel::EnergyBreakdown energy;
+  double kv_energy_j = 0.0;
   double sim_makespan = 0.0;  ///< sum of per-tick simulated latencies
   std::int64_t occupancy_sum = 0;
+  std::int64_t kv_pages_sum = 0;          ///< pages in use, summed per tick
+  std::int64_t contiguous_peak_tokens = 0;  ///< monolithic-cache comparison
   common::ThreadPool& pool = common::ThreadPool::global();
 
   const auto run_start = std::chrono::steady_clock::now();
   while (!waiting.empty() || !active.empty()) {
+    // --- Admission: the policy picks, the page budget gates ---
     while (!waiting.empty() && !free_slots.empty()) {
+      std::vector<std::size_t> prefilling;
+      for (const InFlight& flight : active)
+        if (flight.prompt_pos <
+            static_cast<int>(requests[flight.request_index].prompt.size()))
+          prefilling.push_back(flight.request_index);
+      int pick = policy_->pick(requests, waiting, prefilling, kv);
+      if (pick == SchedulerPolicy::kNone) {
+        // Deferral needs someone to wait for; an idle engine admits FIFO.
+        if (!active.empty()) break;
+        pick = 0;
+      }
+      const std::size_t index = waiting[static_cast<std::size_t>(pick)];
+      const Request& req = requests[index];
+      if (!fits(req)) {
+        if (!active.empty()) break;  // retirements will free pages
+        // Nothing running: reclaim shareable pages, then either the
+        // request fits or it never will.
+        kv.drop_registered_prefixes();
+        if (!fits(req)) {
+          report.results[index].error =
+              "request needs " +
+              std::to_string(kv.pages_for(total_positions(req))) +
+              " KV pages, pool capacity is " + std::to_string(kv.max_pages());
+          waiting.erase(waiting.begin() + pick);
+          continue;
+        }
+      }
       InFlight flight;
-      flight.request_index = waiting.front();
-      waiting.pop_front();
+      flight.request_index = index;
+      waiting.erase(waiting.begin() + pick);
       flight.slot = free_slots.back();
       free_slots.pop_back();
-      flight.cache =
-          slots_[static_cast<std::size_t>(flight.slot)].decoder->make_cache();
+      flight.seq = sharing ? kv.create(req.prompt) : kv.create();
+      flight.view = PagedKVView(kv, flight.seq);
+      flight.prompt_pos = kv.shared_length(flight.seq);
+      report.results[index].shared_prompt_tokens = flight.prompt_pos;
       active.push_back(std::move(flight));
     }
+    // Every admission failed (undersized pool): no phantom empty tick.
+    if (active.empty()) break;
     ++report.engine_steps;
     occupancy_sum += static_cast<std::int64_t>(active.size());
 
+    // --- Reserve this tick's KV positions (serial; allocation and
+    // copy-on-write happen here, so the parallel step below only writes
+    // pre-reserved, per-sequence slots). A reservation failure — only
+    // possible under an explicit undersized kv_pool_pages — retires the
+    // request with an error instead of aborting.
+    for (InFlight& flight : active) {
+      const Status reserved = kv.reserve_next(flight.seq);
+      if (!reserved.is_ok()) {
+        flight.failed = true;
+        report.results[flight.request_index].error = reserved.message();
+      }
+    }
+    std::erase_if(active, [&](InFlight& flight) {
+      if (!flight.failed) return false;
+      kv.release(flight.seq);
+      free_slots.push_back(flight.slot);
+      return true;
+    });
+    std::sort(free_slots.begin(), free_slots.end(), std::greater<int>());
+    kv_pages_sum += kv.stats().pages_in_use;
+
     // Price the tick before stepping it: each active request's decode
     // step attends over (cached positions + 1) — the batch shares the
-    // accelerator, so the tick costs their combined workload.
+    // accelerator, so the tick costs their combined workload. KV-cache
+    // traffic (ctx reads + 1 write of K and V rows per layer) is priced
+    // on the pool's SRAM macro.
     double tick_seconds = 0.0;
     if (accel_) {
       std::vector<accel::GemmShape> workload;
+      std::int64_t kv_floats = 0;
       for (const InFlight& flight : active) {
+        const int ctx = kv.length(flight.seq) + 1;
         std::vector<accel::GemmShape> step =
-            accel::decode_step_gemms(cfg, flight.cache.length() + 1);
+            accel::decode_step_gemms(cfg, ctx);
         workload.insert(workload.end(),
                         std::make_move_iterator(step.begin()),
                         std::make_move_iterator(step.end()));
+        kv_floats += static_cast<std::int64_t>(cfg.n_layers) * 2 *
+                     cfg.d_model * (ctx + 1);
       }
       const accel::RunStats stats = accel::simulate_workload(*accel_, workload);
       tick_seconds = stats.seconds;
@@ -223,11 +334,14 @@ Report Engine::run() {
       energy.buffer_j += stats.energy.buffer_j;
       energy.dram_j += stats.energy.dram_j;
       energy.static_j += stats.energy.static_j;
+      // 64-bit words on the KV macro port: 2 floats per access.
+      kv_energy_j += static_cast<double>(kv_floats) / 2.0 *
+                     kv_sram.access_pj() * 1e-12;
     }
 
     // Step every active request by one token, batched across the pool.
-    // Slots are private to their request, so bodies touch disjoint state
-    // and the numerics are bit-identical to a serial drain.
+    // Slots and sequences are private to their request, so bodies touch
+    // disjoint state and the numerics are bit-identical to a serial drain.
     pool.parallel_for(
         0, static_cast<std::int64_t>(active.size()),
         [&](std::int64_t i) {
@@ -242,16 +356,23 @@ Report Engine::run() {
               prefilling
                   ? req.prompt[static_cast<std::size_t>(flight.prompt_pos)]
                   : flight.last_token;
-          const std::vector<float> logits = decoder.step(input, flight.cache);
+          const std::vector<float> logits = decoder.step(input, flight.view);
           if (prefilling) ++flight.prompt_pos;
           // The tick that consumes the final prompt token emits the first
           // generated token; every later tick emits one more.
           if (flight.prompt_pos == prompt_len) {
-            flight.last_token = argmax_token(logits);
+            flight.last_token = greedy_argmax(logits);
             out.generated.push_back(flight.last_token);
           }
         });
     const double wall_now = seconds_since(run_start);
+
+    // What PR 3's per-request contiguous caches would hold right now.
+    std::int64_t contiguous_tokens = 0;
+    for (const InFlight& flight : active)
+      contiguous_tokens += kv.length(flight.seq);
+    contiguous_peak_tokens =
+        std::max(contiguous_peak_tokens, contiguous_tokens);
 
     // Serial bookkeeping + retirement, in slot-admission order. Latencies
     // are read off the global run clocks (sim_makespan already includes
@@ -267,6 +388,12 @@ Report Engine::run() {
         if (out.generated.size() == 1) {
           flight.ttft_seconds = sim_makespan;
           flight.ttft_wall_seconds = wall_now;
+        }
+        // The prefill just completed: its full prompt pages become
+        // shareable for every follower with the same prefix.
+        if (sharing && !flight.registered) {
+          kv.register_prefix(flight.seq, req.prompt);
+          flight.registered = true;
         }
       }
     }
@@ -284,12 +411,25 @@ Report Engine::run() {
       if (report.has_cost && out.total_seconds > 0.0)
         out.tokens_per_second =
             static_cast<double>(out.generated.size()) / out.total_seconds;
+      kv.release(flight.seq);
       free_slots.push_back(flight.slot);
       return true;
     });
     std::sort(free_slots.begin(), free_slots.end(), std::greater<int>());
   }
   report.wall_seconds = seconds_since(run_start);
+
+  // --- Paged-KV aggregates ---
+  report.kv_pages_allocated = kv.stats().pages_allocated;
+  report.kv_bytes_peak = kv.bytes_peak();
+  report.kv_bytes_peak_contiguous = contiguous_peak_tokens * token_bytes;
+  report.prefix_hit_rate = kv.stats().prefix_hit_rate();
+  if (report.engine_steps > 0)
+    report.kv_pool_occupancy =
+        static_cast<double>(kv_pages_sum) /
+        (static_cast<double>(report.engine_steps) *
+         static_cast<double>(kv.max_pages()));
+  report.kv_energy_j = kv_energy_j;
 
   // --- Aggregates (completed requests only) ---
   double ttft_sum = 0.0;
@@ -314,7 +454,7 @@ Report Engine::run() {
   if (report.has_cost && sim_makespan > 0.0)
     report.throughput_tokens_per_second =
         static_cast<double>(report.generated_tokens) / sim_makespan;
-  report.energy_j = energy.total_j();
+  report.energy_j = energy.total_j() + report.kv_energy_j;
   if (report.completed > 0)
     report.ttft_mean_seconds = ttft_sum / static_cast<double>(report.completed);
   report.p50_step_seconds = percentile(token_latencies, 50.0);
@@ -344,7 +484,8 @@ std::string Report::to_json() const {
   std::ostringstream os;
   os.precision(6);
   os << "{\"model\": \"" << model << "\", \"matmul\": \"" << matmul
-     << "\", \"nonlinear\": \"" << nonlinear << "\"";
+     << "\", \"nonlinear\": \"" << nonlinear << "\", \"policy\": \""
+     << policy << "\"";
   append_json_int(os, "requests", requests);
   append_json_int(os, "completed", completed);
   append_json_int(os, "max_batch", max_batch);
@@ -353,6 +494,11 @@ std::string Report::to_json() const {
   append_json_int(os, "engine_steps", engine_steps);
   append_json(os, "mean_batch_occupancy", mean_batch_occupancy);
   append_json_int(os, "stream_hash", static_cast<std::int64_t>(stream_hash));
+  append_json_int(os, "kv_pages_allocated", kv_pages_allocated);
+  append_json_int(os, "kv_bytes_peak", kv_bytes_peak);
+  append_json_int(os, "kv_bytes_peak_contiguous", kv_bytes_peak_contiguous);
+  append_json(os, "prefix_hit_rate", prefix_hit_rate);
+  append_json(os, "kv_pool_occupancy", kv_pool_occupancy);
   if (has_cost) {
     append_json_int(os, "simulated_macs", simulated_macs);
     append_json(os, "total_seconds", total_seconds);
@@ -363,6 +509,7 @@ std::string Report::to_json() const {
     append_json(os, "p95_step_seconds", p95_step_seconds);
     append_json(os, "p99_step_seconds", p99_step_seconds);
     append_json(os, "energy_j", energy_j);
+    append_json(os, "kv_energy_j", kv_energy_j);
   }
   os << "}";
   return os.str();

@@ -8,21 +8,30 @@
 // construction, plus a Decoder. Requests queue in submit() order; run()
 // executes the continuous-batching loop:
 //
-//   tick:  admit queued requests into free slots (FIFO),
+//   tick:  admit queued requests into free slots in the order the
+//          configured SchedulerPolicy picks (fifo / sjf / prefix-aware,
+//          see serve/policy.hpp),
+//          reserve one KV position per active request in the paged pool,
 //          step every active request by one token in parallel on
 //          common::ThreadPool::global() (prompt tokens first — prefill —
 //          then greedy decode), and
 //          price the tick by replaying its combined decode-step GEMM
-//          workload on the accelerator model (when one is attached).
+//          workload on the accelerator model plus the tick's KV-cache
+//          traffic on an hw::sram macro (when one is attached).
 //
-// A request's KV cache is engine-owned (llm::KVCache) and travels with the
+// A request's KV state lives in a run-scoped serve::PagedKVPool
+// (fixed-size token pages, refcounted, copy-on-write) and travels with the
 // request, not the slot — a finished request frees its slot for the next
-// queued one immediately, mid-run.
+// queued one immediately, mid-run. Under the prefix-aware policy,
+// requests with a common prompt prefix attach the same physical pages, so
+// the prefix is stored (and prefilled) once instead of once per request;
+// see docs/SERVING.md for the full design.
 //
 // Determinism: each request's math is computed on a slot-private backend
 // with double-accumulated GEMMs, so a K-request batched run produces
 // bit-identical token streams to K serial single-request decodes at any
-// BBAL_THREADS (tested in test_serve; gated by BENCH_serve.json in CI).
+// BBAL_THREADS and under any policy (tested in test_serve; gated by
+// BENCH_serve.json in CI).
 //
 //   auto session = bbal::Session::Builder()
 //                      .prepared(model).matmul("BBFP(4,2)")
@@ -46,6 +55,8 @@
 #include "accel/config.hpp"
 #include "bbal/session.hpp"
 #include "llm/decoder.hpp"
+#include "serve/paged_kv.hpp"
+#include "serve/policy.hpp"
 #include "serve/request.hpp"
 
 namespace bbal::serve {
@@ -64,6 +75,18 @@ class Engine {
     /// overwritten with the engine's matmul strategy (Session's rule).
     /// Without it the report carries token streams and wall-clock only.
     std::optional<accel::AcceleratorConfig> accelerator;
+    /// Admission/scheduling policy: "fifo" (default), "sjf" or
+    /// "prefix-aware" (which also enables prompt-prefix page sharing).
+    /// Unknown names are create() errors.
+    std::string policy = "fifo";
+    /// Positions per KV page (see PagedKVPool::Options::page_tokens).
+    int kv_page_tokens = 16;
+    /// KV pool capacity in pages; 0 auto-sizes each run() so every valid
+    /// request could be resident at once (admission then only ever defers
+    /// on slots, and page exhaustion is impossible). An explicit cap can
+    /// starve: a request that cannot fit even alone is reported as an
+    /// error result, and tighter mixes admit more slowly.
+    int kv_pool_pages = 0;
   };
 
   /// Build an engine over a prepared model and a strategy pair. All
@@ -119,6 +142,7 @@ class Engine {
     return static_cast<int>(slots_.size());
   }
   [[nodiscard]] bool has_accelerator() const { return accel_.has_value(); }
+  [[nodiscard]] std::string_view policy() const { return policy_->name(); }
 
  private:
   /// One execution slot: a slot-private backend pair (quantised weights
@@ -130,16 +154,21 @@ class Engine {
     std::unique_ptr<llm::Decoder> decoder;
   };
 
-  /// An admitted request mid-flight: its engine-owned cache and progress.
+  /// An admitted request mid-flight: its pool sequence and progress.
   /// Latency fields hold the global run clock (simulated makespan / wall
   /// time since run start) at the respective event, so TTFT and total
   /// latency include queueing delay — the client-visible metric.
+  /// prompt_pos starts at the sequence's shared prefix length, so a
+  /// prefix-hit request prefills only the unshared prompt tail.
   struct InFlight {
     std::size_t request_index = 0;  ///< into the run's requests/results
     int slot = 0;
-    llm::KVCache cache;
+    PagedKVPool::SeqId seq = -1;
+    PagedKVView view;
     int prompt_pos = 0;
     int last_token = -1;  ///< most recent generated token (decode input)
+    bool registered = false;  ///< prompt prefix registered in the pool
+    bool failed = false;      ///< KV reservation failed; retire with error
     double ttft_seconds = 0.0;
     double ttft_wall_seconds = 0.0;
     int steps = 0;
@@ -151,6 +180,9 @@ class Engine {
   quant::StrategySpec matmul_;
   quant::StrategySpec nonlinear_;
   std::optional<accel::AcceleratorConfig> accel_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+  int kv_page_tokens_ = 16;
+  int kv_pool_pages_ = 0;
   std::vector<Slot> slots_;
   std::deque<Request> queue_;
 };

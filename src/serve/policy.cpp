@@ -1,0 +1,120 @@
+#include "serve/policy.hpp"
+
+#include <algorithm>
+
+namespace bbal::serve {
+namespace {
+
+class FifoPolicy final : public SchedulerPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "fifo"; }
+  [[nodiscard]] int pick(const std::vector<Request>&,
+                         const std::deque<std::size_t>& waiting,
+                         const std::vector<std::size_t>&,
+                         const PagedKVPool&) const override {
+    return waiting.empty() ? kNone : 0;
+  }
+};
+
+class ShortestJobFirstPolicy final : public SchedulerPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "sjf"; }
+  [[nodiscard]] int pick(const std::vector<Request>& requests,
+                         const std::deque<std::size_t>& waiting,
+                         const std::vector<std::size_t>&,
+                         const PagedKVPool&) const override {
+    int best = kNone;
+    std::int64_t best_work = 0;
+    for (std::size_t w = 0; w < waiting.size(); ++w) {
+      const Request& req = requests[waiting[w]];
+      // Total engine ticks the request will occupy a slot for; ties go to
+      // the earlier submission (stable scan order).
+      const std::int64_t work =
+          static_cast<std::int64_t>(req.prompt.size()) + req.max_new_tokens;
+      if (best == kNone || work < best_work) {
+        best = static_cast<int>(w);
+        best_work = work;
+      }
+    }
+    return best;
+  }
+};
+
+class PrefixAwarePolicy final : public SchedulerPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "prefix-aware";
+  }
+  [[nodiscard]] bool wants_prefix_sharing() const override { return true; }
+
+  [[nodiscard]] int pick(const std::vector<Request>& requests,
+                         const std::deque<std::size_t>& waiting,
+                         const std::vector<std::size_t>& prefilling,
+                         const PagedKVPool& pool) const override {
+    // 1. A request whose prefix is already registered admits first (the
+    //    longest hit wins — it frees the most recompute); earlier
+    //    submission breaks ties.
+    int best = kNone;
+    int best_hit = 0;
+    for (std::size_t w = 0; w < waiting.size(); ++w) {
+      const Request& req = requests[waiting[w]];
+      const int hit = pool.probe_prefix_tokens(req.prompt);
+      if (hit > best_hit) {
+        best = static_cast<int>(w);
+        best_hit = hit;
+      }
+    }
+    if (best != kNone) return best;
+
+    // 2. Otherwise FIFO — but hold back a follower whose prefix a
+    //    currently prefilling leader is about to register, so it admits
+    //    later with the leader's pages instead of recomputing them.
+    for (std::size_t w = 0; w < waiting.size(); ++w) {
+      if (!shares_page_with_leader(requests, waiting[w], prefilling, pool))
+        return static_cast<int>(w);
+    }
+    // 3. Every waiting request is a follower of an in-flight leader: leave
+    //    the slot empty and let the leaders finish prefilling.
+    return kNone;
+  }
+
+ private:
+  static bool shares_page_with_leader(
+      const std::vector<Request>& requests, std::size_t candidate,
+      const std::vector<std::size_t>& prefilling, const PagedKVPool& pool) {
+    const std::vector<int>& prompt = requests[candidate].prompt;
+    // Sharing is capped strictly below the candidate's prompt length
+    // (the final prompt position is always recomputed), so a prompt of
+    // exactly one page can never attach a page — don't hold it back.
+    if (static_cast<int>(prompt.size()) <= pool.page_tokens()) return false;
+    for (const std::size_t leader : prefilling) {
+      const std::vector<int>& lead = requests[leader].prompt;
+      const std::size_t common =
+          std::min(prompt.size(), lead.size());
+      std::size_t same = 0;
+      while (same < common &&
+             prompt[same] == lead[same])
+        ++same;
+      // Only a whole shared page is worth waiting for.
+      if (static_cast<int>(same) >= pool.page_tokens()) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SchedulerPolicy>> make_policy(std::string_view name) {
+  using R = Result<std::unique_ptr<SchedulerPolicy>>;
+  if (name == "fifo") return R(std::make_unique<FifoPolicy>());
+  if (name == "sjf") return R(std::make_unique<ShortestJobFirstPolicy>());
+  if (name == "prefix-aware") return R(std::make_unique<PrefixAwarePolicy>());
+  return R::error("unknown scheduler policy \"" + std::string(name) +
+                  "\"; expected one of: fifo, sjf, prefix-aware");
+}
+
+std::vector<std::string> policy_names() {
+  return {"fifo", "sjf", "prefix-aware"};
+}
+
+}  // namespace bbal::serve

@@ -1,0 +1,71 @@
+// Pluggable admission/scheduling policies for serve::Engine, selected by
+// name via Engine::Options::policy:
+//
+//  - "fifo" (default): submit order — PR 3's behaviour, the bit-identity
+//    reference every other policy's token streams must match;
+//  - "sjf" (ShortestJobFirst): admit the waiting request with the
+//    smallest total work (prompt + completion budget); classic
+//    mean-latency optimisation under mixed lengths;
+//  - "prefix-aware": enable prompt-prefix page sharing in the paged KV
+//    pool, admit requests whose prefix is already registered first
+//    (longest hit wins), and hold back requests whose prefix a currently
+//    prefilling leader is about to register — followers then attach the
+//    leader's pages instead of recomputing and double-storing the prefix.
+//
+// A policy only chooses *admission order*; the per-tick step loop and all
+// arithmetic are policy-independent, so any policy's per-request token
+// streams are bit-identical to Fifo's (test_serve pins this).
+//
+// Determinism: pick() must be a pure function of its arguments (no RNG,
+// no wall clock) so a serve run is reproducible at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "serve/paged_kv.hpp"
+#include "serve/request.hpp"
+
+namespace bbal::serve {
+
+class SchedulerPolicy {
+ public:
+  /// pick() return meaning "admit nothing this tick, wait for state to
+  /// advance". The engine overrides it when no request is active (an idle
+  /// engine deferring forever would deadlock the run).
+  static constexpr int kNone = -1;
+
+  virtual ~SchedulerPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// True when the engine should create sequences with prompt-prefix
+  /// sharing and register completed prefills in the pool.
+  [[nodiscard]] virtual bool wants_prefix_sharing() const { return false; }
+
+  /// Choose the next request to admit into a free slot: an index into
+  /// `waiting` (which holds indices into `requests`, submit-ordered), or
+  /// kNone to leave remaining slots empty this tick. `prefilling` lists
+  /// the request indices of active flights still consuming their prompts;
+  /// `pool` answers prefix probes. Called repeatedly while free slots and
+  /// waiting requests remain.
+  [[nodiscard]] virtual int pick(const std::vector<Request>& requests,
+                                 const std::deque<std::size_t>& waiting,
+                                 const std::vector<std::size_t>& prefilling,
+                                 const PagedKVPool& pool) const = 0;
+};
+
+/// Resolve a policy by name ("fifo", "sjf", "prefix-aware"; case matters).
+/// Unknown names are reportable errors, never aborts.
+[[nodiscard]] Result<std::unique_ptr<SchedulerPolicy>> make_policy(
+    std::string_view name);
+
+/// Every name make_policy accepts, in documentation order.
+[[nodiscard]] std::vector<std::string> policy_names();
+
+}  // namespace bbal::serve

@@ -35,6 +35,9 @@ struct RequestResult {
 
   std::vector<int> generated;  ///< the greedy continuation
   int prompt_tokens = 0;
+  /// Prompt positions attached from shared KV pages instead of being
+  /// recomputed (non-zero only under a prefix-sharing policy).
+  int shared_prompt_tokens = 0;
   int steps = 0;  ///< engine ticks this request was active for
 
   /// Simulated time from arrival (run start) until the first generated
@@ -58,6 +61,7 @@ struct Report {
   std::string model;
   std::string matmul;
   std::string nonlinear;
+  std::string policy;  ///< scheduler policy name ("fifo", "sjf", ...)
   int max_batch = 0;
   bool has_cost = false;  ///< simulated timing fields are meaningful
 
@@ -74,6 +78,18 @@ struct Report {
   /// CI field that pins every token of every stream.
   std::uint32_t stream_hash = 0;
 
+  // Paged KV-cache metrics (serve::PagedKVPool). Deterministic: page
+  // traffic is a pure function of the request mix and the policy.
+  std::int64_t kv_pages_allocated = 0;  ///< cumulative fresh page allocs
+  std::int64_t kv_bytes_peak = 0;       ///< peak pool payload in use
+  /// What PR 3's per-request monolithic caches would have held at the same
+  /// peak tick: the paged-vs-contiguous memory comparison the bench gates.
+  std::int64_t kv_bytes_peak_contiguous = 0;
+  /// Prompt tokens served from shared pages / prompt tokens offered.
+  double prefix_hit_rate = 0.0;
+  /// Mean pages-in-use per tick over pool capacity.
+  double kv_pool_occupancy = 0.0;
+
   // Simulated aggregates (valid when has_cost).
   std::int64_t simulated_macs = 0;
   double total_seconds = 0.0;  ///< sum of per-tick simulated latencies
@@ -82,7 +98,10 @@ struct Report {
   double p50_step_seconds = 0.0;  ///< percentiles over per-token latencies
   double p95_step_seconds = 0.0;
   double p99_step_seconds = 0.0;
-  double energy_j = 0.0;  ///< accumulated accelerator energy
+  double energy_j = 0.0;  ///< accelerator + KV buffer energy
+  /// KV-cache SRAM access energy (hw::sram over the pool's footprint),
+  /// already included in energy_j.
+  double kv_energy_j = 0.0;
 
   double wall_seconds = 0.0;  ///< host wall-clock of run(); never gated
 

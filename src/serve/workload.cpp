@@ -28,6 +28,35 @@ std::vector<Request> synthetic_requests(const llm::ModelConfig& config,
   return requests;
 }
 
+std::vector<Request> shared_prefix_requests(const llm::ModelConfig& config,
+                                            int count, int prefix_len,
+                                            int suffix_len,
+                                            int max_new_tokens,
+                                            std::uint64_t seed) {
+  std::vector<int> prefix;
+  prefix.reserve(static_cast<std::size_t>(prefix_len));
+  Rng prefix_rng(seed);
+  for (int t = 0; t < prefix_len; ++t)
+    prefix.push_back(
+        static_cast<int>(prefix_rng.uniform_int(0, config.vocab - 1)));
+
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Rng rng(seed ^ (static_cast<std::uint64_t>(i + 1) *
+                    0x9e3779b97f4a7c15ull));
+    Request req;
+    req.max_new_tokens = max_new_tokens;
+    req.prompt = prefix;
+    const int tail = suffix_len + (i % 3);
+    for (int t = 0; t < tail; ++t)
+      req.prompt.push_back(
+          static_cast<int>(rng.uniform_int(0, config.vocab - 1)));
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
 std::vector<int> reference_decode(const llm::PreparedModel& prepared,
                                   const quant::StrategySpec& matmul,
                                   const Request& request) {
@@ -42,11 +71,7 @@ std::vector<int> reference_decode(const llm::PreparedModel& prepared,
   for (const int token : request.prompt) logits = decoder.step(token);
   std::vector<int> generated;
   while (static_cast<int>(generated.size()) < request.max_new_tokens) {
-    int best = 0;
-    for (int i = 1; i < static_cast<int>(logits.size()); ++i)
-      if (logits[static_cast<std::size_t>(i)] >
-          logits[static_cast<std::size_t>(best)])
-        best = i;
+    const int best = greedy_argmax(logits);
     generated.push_back(best);
     if (static_cast<int>(generated.size()) == request.max_new_tokens) break;
     logits = decoder.step(best);

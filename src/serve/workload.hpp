@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "llm/perplexity.hpp"
@@ -13,12 +14,35 @@
 
 namespace bbal::serve {
 
+/// Greedy sampling: the arg-max logit, lowest index winning ties, so a
+/// continuation is a deterministic function of the prompt. The one
+/// definition both the engine's batched path and reference_decode use —
+/// the bit-identity gates compare their outputs, so the tie rule must be
+/// shared, not duplicated.
+[[nodiscard]] inline int greedy_argmax(std::span<const float> logits) {
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(logits.size()); ++i)
+    if (logits[static_cast<std::size_t>(i)] >
+        logits[static_cast<std::size_t>(best)])
+      best = i;
+  return best;
+}
+
 /// `count` requests over `config`'s vocabulary. Prompt i has
 /// base_prompt_len + 2*(i % 5) tokens drawn from Rng(seed ^ i-mix), and a
 /// budget of max_new_tokens. Pure function of its arguments.
 [[nodiscard]] std::vector<Request> synthetic_requests(
     const llm::ModelConfig& config, int count, int base_prompt_len = 12,
     int max_new_tokens = 16, std::uint64_t seed = 2024);
+
+/// `count` requests that all open with the same prefix_len-token prompt
+/// prefix (one shared draw from Rng(seed)) followed by a per-request
+/// suffix of suffix_len + (i % 3) tokens — the multi-user
+/// same-system-prompt traffic the prefix-aware policy and the paged pool's
+/// page sharing target. Pure function of its arguments.
+[[nodiscard]] std::vector<Request> shared_prefix_requests(
+    const llm::ModelConfig& config, int count, int prefix_len,
+    int suffix_len = 4, int max_new_tokens = 16, std::uint64_t seed = 2024);
 
 /// Reference path: decode one request alone, on a fresh backend pair
 /// (`matmul` + FP32 nonlinear), greedy sampling — the stream a batched

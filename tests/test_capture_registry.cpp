@@ -4,11 +4,6 @@
 #include "bbal/registry.hpp"
 #include "llm/capture.hpp"
 
-// The deprecated shims are exercised once below, silencing the warning
-// the rest of the codebase is meant to see.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#include "baselines/registry.hpp"
-
 namespace bbal {
 namespace {
 
@@ -95,14 +90,6 @@ TEST(Registry, NonlinearFactoriesAndCapabilities) {
   EXPECT_FALSE(registry.supports_dynamic_matmul(quant::spec_of("FP32")));
   EXPECT_TRUE(registry.has_cost_model(quant::spec_of("BBFP(4,2)")));
   EXPECT_FALSE(registry.has_cost_model(quant::spec_of("OmniQuant")));
-}
-
-TEST(RegistryShims, DeprecatedBaselinesApiStillWorks) {
-  for (const std::string& name : baselines::table2_strategies())
-    EXPECT_TRUE(baselines::is_known_strategy(name)) << name;
-  EXPECT_FALSE(baselines::is_known_strategy("FP4-EXOTIC"));
-  EXPECT_EQ(baselines::make_matmul_backend("BBFP(4,2)")->name(),
-            "BBFP(4,2)");
 }
 
 TEST(Registry, RegisteredBackendActuallyQuantises) {

@@ -1,0 +1,219 @@
+// serve::PagedKVPool: page alloc/free/refcounting, copy-on-write fork on
+// divergence, prompt-prefix hit accounting, exhaustion as a Status error
+// (never an abort) — and the subsystem's bit-identity anchor: a decoder
+// stepping through a PagedKVView produces float-identical logits to the
+// same decoder stepping through a contiguous llm::KVCache.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bbal/registry.hpp"
+#include "bbal/session.hpp"
+#include "llm/decoder.hpp"
+#include "serve/paged_kv.hpp"
+
+namespace bbal {
+namespace {
+
+using serve::PagedKVPool;
+using serve::PagedKVView;
+
+llm::ModelConfig tiny_config() {
+  llm::ModelConfig cfg;
+  cfg.name = "paged-kv-test";
+  cfg.vocab = 64;
+  cfg.d_model = 8;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 12;
+  cfg.seed = 7;
+  return cfg;
+}
+
+PagedKVPool::Options small_pool(int page_tokens, int max_pages) {
+  PagedKVPool::Options options;
+  options.page_tokens = page_tokens;
+  options.max_pages = max_pages;
+  return options;
+}
+
+/// Append one synthetic position (distinct per (seq, position, layer)) so
+/// tests can recognise rows later.
+void append_position(PagedKVPool& pool, PagedKVPool::SeqId id, float tag) {
+  ASSERT_TRUE(pool.reserve_next(id).is_ok());
+  PagedKVView view(pool, id);
+  const int d = tiny_config().d_model;
+  const float base = tag + static_cast<float>(view.length());
+  for (int l = 0; l < tiny_config().n_layers; ++l) {
+    std::vector<float> k(static_cast<std::size_t>(d),
+                         base + 0.25f * static_cast<float>(l));
+    std::vector<float> v(static_cast<std::size_t>(d),
+                         -base - 0.25f * static_cast<float>(l));
+    view.append(l, k, v);
+  }
+}
+
+TEST(PagedKVPool, AllocatesFreesAndRefcounts) {
+  PagedKVPool pool(tiny_config(), small_pool(4, 8));
+  EXPECT_EQ(pool.page_bytes(), 2 * 4 * 2 * 8 * 4);  // layers*slots*kv*d*f32
+
+  const auto a = pool.create();
+  EXPECT_EQ(pool.length(a), 0);
+  EXPECT_EQ(pool.stats().pages_in_use, 0);  // no pages until reserve
+
+  for (int i = 0; i < 5; ++i) append_position(pool, a, 100.0f);
+  EXPECT_EQ(pool.length(a), 5);
+  EXPECT_EQ(pool.stats().pages_allocated, 2);  // 5 positions, 4 per page
+  EXPECT_EQ(pool.stats().pages_in_use, 2);
+  EXPECT_EQ(pool.page_refcount(a, 0), 1);
+
+  const auto b = pool.create();
+  append_position(pool, b, 200.0f);
+  EXPECT_EQ(pool.stats().pages_in_use, 3);
+
+  pool.release(a);
+  EXPECT_EQ(pool.stats().pages_in_use, 1);
+  pool.release(b);
+  EXPECT_EQ(pool.stats().pages_in_use, 0);
+  EXPECT_EQ(pool.stats().pages_in_use_peak, 3);
+  // Freed pages are reused, not re-allocated storage.
+  const auto c = pool.create();
+  append_position(pool, c, 300.0f);
+  EXPECT_EQ(pool.stats().pages_allocated, 4);
+}
+
+TEST(PagedKVPool, ForkSharesPagesAndCopiesOnDivergence) {
+  PagedKVPool pool(tiny_config(), small_pool(4, 8));
+  const auto a = pool.create();
+  for (int i = 0; i < 6; ++i) append_position(pool, a, 100.0f);
+
+  const auto b = pool.fork(a);
+  EXPECT_EQ(pool.length(b), 6);
+  EXPECT_EQ(pool.stats().pages_in_use, 2);  // all pages shared
+  EXPECT_EQ(pool.page_refcount(a, 5), 2);
+
+  // Shared tail reads are the same physical floats.
+  const PagedKVView va(pool, a);
+  const PagedKVView vb(pool, b);
+  EXPECT_EQ(va.k_at(1, 5).data(), vb.k_at(1, 5).data());
+  const float before = va.k_at(0, 4).front();
+
+  // a appends -> a copies the shared tail page (copy-on-write)...
+  append_position(pool, a, 111.0f);
+  EXPECT_EQ(pool.stats().page_copies, 1);
+  EXPECT_EQ(pool.page_refcount(a, 4), 1);
+  EXPECT_EQ(pool.page_refcount(b, 4), 1);
+  // ...b's view of the old rows is untouched, and the copied prefix of
+  // the diverged page matches bit for bit.
+  EXPECT_EQ(vb.k_at(0, 4).front(), before);
+  EXPECT_EQ(va.k_at(0, 4).front(), before);
+  EXPECT_NE(va.k_at(0, 4).data(), vb.k_at(0, 4).data());
+
+  // b appends next: its tail is now private again, no second copy.
+  append_position(pool, b, 222.0f);
+  EXPECT_EQ(pool.stats().page_copies, 1);
+  EXPECT_NE(va.k_at(0, 6).front(), vb.k_at(0, 6).front());
+}
+
+TEST(PagedKVPool, PrefixHitsAreAccountedAndCapped) {
+  PagedKVPool pool(tiny_config(), small_pool(4, 16));
+  std::vector<int> prompt = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+
+  const auto leader = pool.create(prompt);
+  EXPECT_EQ(pool.shared_length(leader), 0);  // nothing registered yet
+  for (int i = 0; i < static_cast<int>(prompt.size()); ++i)
+    append_position(pool, leader, 100.0f);
+  pool.register_prefix(leader, prompt);
+  // 10 tokens -> 2 full pages registered, referenced by the registry.
+  EXPECT_EQ(pool.page_refcount(leader, 0), 2);
+
+  EXPECT_EQ(pool.probe_prefix_tokens(prompt), 8);
+  const auto follower = pool.create(prompt);
+  EXPECT_EQ(pool.shared_length(follower), 8);
+  EXPECT_EQ(pool.length(follower), 8);
+  EXPECT_EQ(pool.stats().prefix_hit_tokens, 8);
+  EXPECT_EQ(pool.stats().prefix_lookup_tokens, 20);  // both creates counted
+  // Shared positions are the same physical rows; no new pages allocated.
+  const PagedKVView vl(pool, leader);
+  const PagedKVView vf(pool, follower);
+  EXPECT_EQ(vl.k_at(0, 3).data(), vf.k_at(0, 3).data());
+
+  // A prompt that is exactly the registered pages must still recompute
+  // its final position: the cap keeps sharing strictly below prompt size.
+  const std::vector<int> exact = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(pool.probe_prefix_tokens(exact), 4);
+
+  // Divergent second page: only the first page matches.
+  std::vector<int> other = prompt;
+  other[5] = 99;
+  EXPECT_EQ(pool.probe_prefix_tokens(other), 4);
+
+  // The registry keeps prompt pages alive past release...
+  pool.release(leader);
+  EXPECT_EQ(pool.page_refcount(follower, 0), 2);
+  // ...until eviction drops the registry's references. The follower still
+  // holds the pages, so nothing is freed — pages_evicted counts only
+  // pages actually returned to the free list.
+  pool.drop_registered_prefixes();
+  EXPECT_EQ(pool.page_refcount(follower, 0), 1);
+  EXPECT_EQ(pool.stats().pages_evicted, 0);
+}
+
+TEST(PagedKVPool, ExhaustionIsAStatusErrorAndEvictionRecovers) {
+  PagedKVPool pool(tiny_config(), small_pool(4, 2));
+  const auto a = pool.create();
+  for (int i = 0; i < 8; ++i) append_position(pool, a, 100.0f);
+
+  // Pool full: the next page is a reportable error, not an abort.
+  const Status overflow = pool.reserve_next(a);
+  ASSERT_FALSE(overflow.is_ok());
+  EXPECT_NE(overflow.message().find("exhausted"), std::string::npos)
+      << overflow.message();
+  EXPECT_EQ(pool.length(a), 8);  // the failed reserve changed nothing
+
+  // Registered prefixes are reclaimable: release the sequence, keep the
+  // registry reference, and a new sequence evicts its way to a page.
+  const std::vector<int> prompt = {1, 2, 3, 4, 5, 6, 7, 8};
+  pool.register_prefix(a, prompt);
+  pool.release(a);
+  EXPECT_EQ(pool.stats().pages_in_use, 2);  // registry still holds both
+  const auto b = pool.create();
+  ASSERT_TRUE(pool.reserve_next(b).is_ok());
+  EXPECT_EQ(pool.stats().pages_evicted, 2);
+  EXPECT_EQ(pool.stats().pages_in_use, 1);
+}
+
+TEST(PagedKVView, DecoderThroughPoolMatchesContiguousCacheBitForBit) {
+  llm::ModelConfig cfg = tiny_config();
+  cfg.d_model = 32;
+  cfg.d_ff = 48;
+  const auto prepared = prepare_shared(cfg, /*eval_tokens=*/64);
+
+  auto mm = BackendRegistry::instance().make_matmul("BBFP(4,2)")
+                .expect("matmul backend");
+  llm::Fp32NonlinearBackend nl;
+  llm::Transformer model(prepared->config, prepared->weights, *mm, nl);
+  model.set_logit_scale(prepared->logit_scale);
+  llm::Decoder decoder(model);
+
+  // Page size 3 forces mid-page and cross-page reads at most steps.
+  PagedKVPool pool(prepared->config, small_pool(3, 16));
+  const auto seq = pool.create();
+  PagedKVView paged(pool, seq);
+  llm::KVCache contiguous = decoder.make_cache();
+
+  const std::vector<int> tokens = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5};
+  for (const int token : tokens) {
+    ASSERT_TRUE(pool.reserve_next(seq).is_ok());
+    const std::vector<float> via_pool = decoder.step(token, paged);
+    const std::vector<float> via_cache = decoder.step(token, contiguous);
+    ASSERT_EQ(via_pool.size(), via_cache.size());
+    for (std::size_t i = 0; i < via_pool.size(); ++i)
+      ASSERT_EQ(via_pool[i], via_cache[i]) << "logit " << i << " diverged";
+  }
+  EXPECT_EQ(pool.length(seq), static_cast<int>(tokens.size()));
+  EXPECT_EQ(contiguous.length(), static_cast<int>(tokens.size()));
+}
+
+}  // namespace
+}  // namespace bbal

@@ -1,9 +1,12 @@
-// serve::Engine: batched continuous-batching output must be bit-identical
-// to serial single-request decodes at any thread count (the subsystem's
-// acceptance criterion), scheduling must survive malformed requests, and
-// the serving metrics must be internally consistent and deterministic.
+// serve::Engine: batched paged-KV output must be bit-identical to serial
+// single-request decodes over contiguous caches at any thread count (the
+// subsystem's acceptance criterion), scheduling policies must only reorder
+// — never change — token streams, malformed requests and KV exhaustion
+// must degrade to error results, and the serving metrics must be
+// internally consistent and deterministic.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -11,6 +14,7 @@
 #include "bbal/session.hpp"
 #include "common/threadpool.hpp"
 #include "serve/engine.hpp"
+#include "serve/policy.hpp"
 #include "serve/workload.hpp"
 
 namespace bbal {
@@ -33,9 +37,11 @@ std::shared_ptr<const llm::PreparedModel> tiny_model() {
 }
 
 serve::Engine make_engine(const std::string& strategy, int max_batch,
-                          bool with_accelerator = false) {
+                          bool with_accelerator = false,
+                          const std::string& policy = "fifo") {
   serve::Engine::Options options;
   options.max_batch = max_batch;
+  options.policy = policy;
   if (with_accelerator) {
     accel::AcceleratorConfig cfg;
     cfg.array_rows = cfg.array_cols = 8;
@@ -47,10 +53,30 @@ serve::Engine make_engine(const std::string& strategy, int max_batch,
       .expect("engine");
 }
 
-/// The acceptance check: K batched requests == K serial decodes, bit for
-/// bit, across a thread-count sweep and with fewer slots than requests
-/// (so the scheduler queues, retires and back-fills mid-run).
-void expect_batched_matches_serial(int threads) {
+/// FNV-1a over (id, generated tokens), mirroring the engine's stream-hash
+/// construction so tests can pin hashes against reference decodes.
+std::uint32_t reference_stream_hash(
+    const std::vector<std::vector<int>>& streams) {
+  std::uint32_t hash = 2166136261u;
+  auto mix = [&hash](std::uint32_t value) {
+    for (int byte = 0; byte < 4; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffu;
+      hash *= 16777619u;
+    }
+  };
+  for (std::size_t id = 0; id < streams.size(); ++id) {
+    mix(static_cast<std::uint32_t>(id));
+    for (const int token : streams[id])
+      mix(static_cast<std::uint32_t>(token));
+  }
+  return hash;
+}
+
+/// The acceptance check: K batched requests over the paged KV pool == K
+/// serial decodes over contiguous caches, bit for bit (tokens and FNV-1a
+/// stream hash), across a thread-count sweep and with fewer slots than
+/// requests (so the scheduler queues, retires and back-fills mid-run).
+void expect_paged_matches_contiguous(int threads) {
   common::ThreadPool::set_global_threads(threads);
   const auto prepared = tiny_model();
   const std::vector<serve::Request> requests = serve::synthetic_requests(
@@ -64,21 +90,25 @@ void expect_batched_matches_serial(int threads) {
 
   ASSERT_EQ(report.results.size(), requests.size());
   EXPECT_EQ(report.completed, static_cast<std::int64_t>(requests.size()));
+  std::vector<std::vector<int>> references;
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const std::vector<int> reference = serve::reference_decode(
-        *prepared, quant::spec_of("BBFP(4,2)"), requests[i]);
+    references.push_back(serve::reference_decode(
+        *prepared, quant::spec_of("BBFP(4,2)"), requests[i]));
     EXPECT_TRUE(report.results[i].ok) << report.results[i].error;
-    EXPECT_EQ(report.results[i].generated, reference)
+    EXPECT_EQ(report.results[i].generated, references.back())
         << "request " << i << " diverged at " << threads << " threads";
   }
+  EXPECT_EQ(report.stream_hash, reference_stream_hash(references));
+  EXPECT_GT(report.kv_pages_allocated, 0);
+  EXPECT_GT(report.kv_bytes_peak, 0);
 }
 
-TEST(ServeEngine, BatchedMatchesSerialSingleThread) {
-  expect_batched_matches_serial(1);
+TEST(ServeEngine, PagedMatchesContiguousSingleThread) {
+  expect_paged_matches_contiguous(1);
 }
 
-TEST(ServeEngine, BatchedMatchesSerialFourThreads) {
-  expect_batched_matches_serial(4);
+TEST(ServeEngine, PagedMatchesContiguousFourThreads) {
+  expect_paged_matches_contiguous(4);
 }
 
 TEST(ServeEngine, RunsAreDeterministic) {
@@ -224,6 +254,126 @@ TEST(ServeEngine, FromSessionServesTheSessionConfiguration) {
   EXPECT_EQ(report.results[0].generated,
             serve::reference_decode(*tiny_model(),
                                     quant::spec_of("BBFP(4,2)"), req));
+}
+
+TEST(ServePolicy, FactoryResolvesEveryNameAndRejectsUnknowns) {
+  for (const std::string& name : serve::policy_names()) {
+    auto policy = serve::make_policy(name);
+    ASSERT_TRUE(policy.is_ok()) << name << ": " << policy.message();
+    EXPECT_EQ(policy.value()->name(), name);
+  }
+  EXPECT_FALSE(serve::make_policy("round-robin").is_ok());
+  serve::Engine::Options options;
+  options.policy = "bogus";
+  EXPECT_FALSE(serve::Engine::create(tiny_model(), quant::spec_of("BFP4"),
+                                     quant::StrategySpec::fp32(),
+                                     std::move(options))
+                   .is_ok());
+}
+
+TEST(ServePolicy, ShortestJobFirstReordersAdmissionNotTokens) {
+  // One slot: admission order is completion order. Request 0 is the
+  // longest job, so under SJF it must finish last despite submitting
+  // first — and every stream must still match its serial reference.
+  std::vector<serve::Request> requests;
+  for (const int prompt_len : {12, 4, 8}) {
+    serve::Request req;
+    for (int t = 0; t < prompt_len; ++t) req.prompt.push_back(t + 1);
+    req.max_new_tokens = 4;
+    requests.push_back(std::move(req));
+  }
+  serve::Engine engine = make_engine("BBFP(4,2)", /*max_batch=*/1,
+                                     /*with_accelerator=*/true, "sjf");
+  for (const serve::Request& req : requests) engine.submit(req);
+  const serve::Report report = engine.run();
+
+  ASSERT_EQ(report.completed, 3);
+  EXPECT_EQ(report.policy, "sjf");
+  // Shorter jobs were admitted (and therefore finished) first.
+  EXPECT_GT(report.results[0].ttft_seconds, report.results[1].ttft_seconds);
+  EXPECT_GT(report.results[2].ttft_seconds, report.results[1].ttft_seconds);
+  EXPECT_GT(report.results[0].ttft_seconds, report.results[2].ttft_seconds);
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    EXPECT_EQ(report.results[i].generated,
+              serve::reference_decode(*tiny_model(),
+                                      quant::spec_of("BBFP(4,2)"),
+                                      requests[i]))
+        << "request " << i;
+}
+
+TEST(ServePolicy, PrefixAwareSharesPagesAndKeepsStreamsIdentical) {
+  const auto prepared = tiny_model();
+  // 4 requests sharing a 40-token prefix (page size 16 -> 2 full shared
+  // pages after the cap) with tiny private suffixes.
+  const std::vector<serve::Request> requests = serve::shared_prefix_requests(
+      prepared->config, /*count=*/4, /*prefix_len=*/40, /*suffix_len=*/2,
+      /*max_new_tokens=*/6);
+
+  serve::Engine fifo = make_engine("BBFP(4,2)", /*max_batch=*/2);
+  serve::Engine aware = make_engine("BBFP(4,2)", /*max_batch=*/2,
+                                    /*with_accelerator=*/false,
+                                    "prefix-aware");
+  for (const serve::Request& req : requests) {
+    fifo.submit(req);
+    aware.submit(req);
+  }
+  const serve::Report fifo_report = fifo.run();
+  const serve::Report aware_report = aware.run();
+
+  // The policy only reorders work: token streams are bit-identical.
+  ASSERT_EQ(aware_report.completed, fifo_report.completed);
+  EXPECT_EQ(aware_report.stream_hash, fifo_report.stream_hash);
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    EXPECT_EQ(aware_report.results[i].generated,
+              fifo_report.results[i].generated)
+        << "request " << i;
+
+  // Followers attached the leader's prompt pages...
+  EXPECT_EQ(fifo_report.prefix_hit_rate, 0.0);
+  EXPECT_GT(aware_report.prefix_hit_rate, 0.0);
+  EXPECT_EQ(aware_report.results[0].shared_prompt_tokens, 0);
+  for (std::size_t i = 1; i < requests.size(); ++i)
+    EXPECT_EQ(aware_report.results[i].shared_prompt_tokens, 32)
+        << "request " << i;
+  // ...so sharing skips prefill work and stores the prefix once: fewer
+  // engine ticks, fewer pages, and a paged peak below the monolithic
+  // equivalent.
+  EXPECT_LT(aware_report.engine_steps, fifo_report.engine_steps);
+  EXPECT_LT(aware_report.kv_pages_allocated, fifo_report.kv_pages_allocated);
+  EXPECT_LT(aware_report.kv_bytes_peak,
+            aware_report.kv_bytes_peak_contiguous);
+}
+
+TEST(ServeEngine, UndersizedPoolDegradesToErrorResults) {
+  // 2 pages of 16 tokens: request 0 (4 + 4 - 1 positions) fits, request 1
+  // (40 prompt tokens -> 3+ pages) can never fit and must surface as an
+  // error result, not an abort — and not block request 2.
+  serve::Engine::Options options;
+  options.max_batch = 2;
+  options.kv_pool_pages = 2;
+  serve::Engine engine =
+      serve::Engine::create(tiny_model(), quant::spec_of("BFP4"),
+                            quant::StrategySpec::fp32(), std::move(options))
+          .expect("engine");
+  serve::Request small;
+  small.prompt = {1, 2, 3, 4};
+  small.max_new_tokens = 4;
+  serve::Request huge;
+  for (int t = 0; t < 40; ++t) huge.prompt.push_back(t % 16);
+  huge.max_new_tokens = 4;
+  engine.submit(small);
+  engine.submit(huge);
+  engine.submit(small);
+  const serve::Report report = engine.run();
+
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_TRUE(report.results[0].ok) << report.results[0].error;
+  EXPECT_FALSE(report.results[1].ok);
+  EXPECT_NE(report.results[1].error.find("KV pages"), std::string::npos)
+      << report.results[1].error;
+  EXPECT_TRUE(report.results[2].ok) << report.results[2].error;
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_EQ(report.results[0].generated, report.results[2].generated);
 }
 
 }  // namespace

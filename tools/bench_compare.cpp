@@ -211,11 +211,16 @@ class JsonParser {
 
 /// Fields allowed to drift within the relative tolerance: time- and
 /// rate-like metrics ("seconds", "throughput_gops", the serving report's
-/// "*_seconds" latencies and "throughput_tokens_per_second"). Everything
+/// "*_seconds" latencies and "throughput_tokens_per_second") plus the
+/// serving engine's ratio metrics ("prefix_hit_rate", "*occupancy") —
+/// deterministic in one build, but sensitive by design to request-mix or
+/// policy tweaks a baseline refresh shouldn't be forced for. Everything
 /// else must be bit-identical (see file header).
 bool is_rate_field(const std::string& key) {
   return key.find("seconds") != std::string::npos ||
-         key.find("throughput") != std::string::npos;
+         key.find("throughput") != std::string::npos ||
+         key.find("rate") != std::string::npos ||
+         key.find("occupancy") != std::string::npos;
 }
 
 struct Rows {

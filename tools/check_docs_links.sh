@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Docs gate for CI's quick tier (and local use): the documentation set
+# must be present, and every relative markdown link in README.md, docs/
+# and the other root-level .md files must resolve to a real file.
+# External links (http/https/mailto) are not fetched — CI must not
+# depend on the network.
+#
+# Usage: tools/check_docs_links.sh   (from the repo root)
+set -u
+
+failures=0
+
+# --- Presence: the documentation set PR 4 established ---
+for required in README.md docs/ARCHITECTURE.md docs/SERVING.md \
+                docs/STRATEGIES.md; do
+  if [ ! -f "$required" ]; then
+    echo "MISSING     $required"
+    failures=$((failures + 1))
+  fi
+done
+
+# --- Relative links resolve ---
+# Extracts [text](target) pairs; ignores external schemes and pure
+# in-page anchors; strips #fragments before the existence check.
+for doc in *.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Newline-delimited iteration: link targets may contain spaces.
+  while IFS= read -r link; do
+    [ -n "$link" ] || continue
+    case "$link" in
+      http://*|https://*|mailto:*) continue ;;
+      '#'*) continue ;;
+    esac
+    target=${link%%#*}
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN      $doc -> $link"
+      failures=$((failures + 1))
+    fi
+  done << EOF
+$(grep -oE '\[[^][]*\]\([^)]+\)' "$doc" |
+  sed -E 's/^\[[^][]*\]\(([^)]+)\)$/\1/')
+EOF
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_docs_links: $failures problem(s)"
+  exit 1
+fi
+echo "check_docs_links: all documentation present, all relative links ok"

@@ -10,9 +10,13 @@
 // the same contract as tools/record_table2.
 //
 // Usage: ./build/tools/record_serve [out.json] [--threads N]
+//                                   [--policy fifo|sjf|prefix-aware]
 // Env:   BBAL_MODEL (default Llama-7B), BBAL_EVAL_TOKENS (default 128),
 //        BBAL_SERVE_REQUESTS (default 8), BBAL_SERVE_NEW_TOKENS (default
 //        16), BBAL_SERVE_BATCH (default 4), BBAL_THREADS (--threads wins)
+//
+// The committed baseline records the fifo policy (the bit-identity
+// reference); --policy exists for ad-hoc scheduler studies.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +27,7 @@
 #include "bbal/registry.hpp"
 #include "common/threadpool.hpp"
 #include "serve/engine.hpp"
+#include "serve/policy.hpp"
 #include "serve/workload.hpp"
 
 namespace {
@@ -40,6 +45,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_serve.json";
   bool have_out_path = false;
   int threads_flag = 0;
+  std::string policy = "fifo";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads") {
@@ -53,8 +59,21 @@ int main(int argc, char** argv) {
                      argv[i]);
         return 2;
       }
+    } else if (arg == "--policy") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "record_serve: --policy needs a value\n");
+        return 2;
+      }
+      policy = argv[++i];
+      if (!serve::make_policy(policy).is_ok()) {
+        std::fprintf(stderr, "record_serve: bad --policy value \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr, "usage: record_serve [out.json] [--threads N]\n");
+      std::fprintf(stderr,
+                   "usage: record_serve [out.json] [--threads N] "
+                   "[--policy fifo|sjf|prefix-aware]\n");
       return 0;
     } else if (arg.rfind("-", 0) == 0) {
       std::fprintf(stderr, "record_serve: unknown option \"%s\"\n",
@@ -104,6 +123,7 @@ int main(int argc, char** argv) {
     }
     serve::Engine::Options options;
     options.max_batch = max_batch;
+    options.policy = policy;
     // Iso-area accelerators (Fig. 8's comparison rule) price the rows
     // whose strategy has a PE design.
     if (BackendRegistry::instance().has_cost_model(spec.value())) {
@@ -151,10 +171,12 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "{\n\"meta\": {\"model\": \"%s\", \"eval_tokens\": %d, "
                "\"requests\": %d, \"new_tokens\": %d, \"max_batch\": %d, "
-               "\"threads\": %d, \"hardware_concurrency\": %u, "
+               "\"policy\": \"%s\", \"threads\": %d, "
+               "\"hardware_concurrency\": %u, "
                "\"wall_seconds\": %.6g},\n\"rows\": [\n",
                model_name.c_str(), eval_tokens, num_requests, new_tokens,
-               max_batch, common::ThreadPool::global().thread_count(),
+               max_batch, policy.c_str(),
+               common::ThreadPool::global().thread_count(),
                std::thread::hardware_concurrency(), wall_seconds);
   for (std::size_t i = 0; i < rows.size(); ++i)
     std::fprintf(out, "%s  %s", i == 0 ? "" : ",\n", rows[i].c_str());
