@@ -12,10 +12,18 @@
 // sjf, prefix-aware — showing what paged prefix sharing buys in KV bytes,
 // pages and engine ticks (docs/SERVING.md walks through the columns).
 //
+// The fused-datapath study times the same BBFP(4,2) traffic two ways —
+// the engine's batched tick loop (one fused GEMM per projection over the
+// whole active batch, one shared weight copy) against a per-slot-style
+// M=1 decode loop (each request stepped alone, the PR-3/PR-4 datapath) —
+// and prints the host wall-clock of both. Informational only, never
+// gated (wall-clock is machine-dependent).
+//
 // Correctness gates (the acceptance checks of the serving engine), exit
 // non-zero if either fails:
 //  1. the BBFP(4,2) batched paged run must produce bit-identical token
-//     streams to serial contiguous-cache decodes — at any BBAL_THREADS;
+//     streams to serial contiguous-cache decodes — stream hash included —
+//     at any BBAL_THREADS;
 //  2. under prefix-aware scheduling the shared-prefix mix's kv_bytes_peak
 //     must be strictly lower than the monolithic-cache equivalent
 //     (kv_bytes_peak_contiguous), and its streams must hash identically
@@ -24,6 +32,8 @@
 // Env: BBAL_MODEL (default Llama-7B), BBAL_EVAL_TOKENS (default 128),
 //      BBAL_SERVE_REQUESTS (default 8), BBAL_SERVE_NEW_TOKENS (default 16),
 //      BBAL_SERVE_BATCH (default 4), BBAL_THREADS (step parallelism).
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -31,6 +41,7 @@
 
 #include "bbal/registry.hpp"
 #include "common/table.hpp"
+#include "llm/decoder.hpp"
 #include "serve/engine.hpp"
 #include "serve/policy.hpp"
 #include "serve/workload.hpp"
@@ -42,6 +53,30 @@ using namespace bbal;
 int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// FNV-1a over (id, generated tokens), mirroring the engine's stream-hash
+/// construction — the reference hash gate 1 pins the engine's against.
+std::uint32_t reference_stream_hash(
+    const std::vector<std::vector<int>>& streams) {
+  std::uint32_t hash = 2166136261u;
+  const auto mix = [&hash](std::uint32_t value) {
+    for (int byte = 0; byte < 4; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffu;
+      hash *= 16777619u;
+    }
+  };
+  for (std::size_t id = 0; id < streams.size(); ++id) {
+    mix(static_cast<std::uint32_t>(id));
+    for (const int token : streams[id]) mix(static_cast<std::uint32_t>(token));
+  }
+  return hash;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 }  // namespace
@@ -144,9 +179,13 @@ int main() {
 
   int failures = 0;
 
-  // --- Gate 1: batched paged BBFP(4,2) vs serial contiguous decodes ---
-  std::printf("\nBit-identity check: %d concurrent BBFP(4,2) requests vs "
-              "serial decodes...\n",
+  // --- Fused-batched vs per-slot M=1 datapath (informational) ---
+  // Same requests, same strategy, same weights-prepared-once setup; the
+  // per-slot loop steps each request alone (M=1 GEMMs, the pre-fusion
+  // engine datapath) while the engine runs its fused batched tick loop.
+  // Host wall-clock on both sides: printed, never gated.
+  std::printf("\nFused batched tick loop vs per-slot M=1 decode, "
+              "BBFP(4,2), %d requests:\n",
               num_requests);
   serve::Engine::Options options;
   options.max_batch = max_batch;
@@ -156,15 +195,42 @@ int main() {
   for (const serve::Request& req : requests) engine.submit(req);
   const serve::Report report = engine.run();
 
+  std::vector<std::vector<int>> references;
+  auto mm = BackendRegistry::instance()
+                .make_matmul(quant::spec_of("BBFP(4,2)"))
+                .expect("per-slot backend");
+  llm::Fp32NonlinearBackend nl;
+  llm::Transformer model(prepared->config, prepared->weights, *mm, nl);
+  model.set_logit_scale(prepared->logit_scale);
+  llm::Decoder decoder(model);
+  const auto serial_start = std::chrono::steady_clock::now();
+  for (const serve::Request& req : requests)
+    references.push_back(serve::reference_decode(decoder, req));
+  const double serial_seconds = seconds_since(serial_start);
+  std::printf("  fused batched: %.3fs   per-slot M=1: %.3fs   "
+              "speedup %.2fx   weights once: %lld B (was %dx)\n",
+              report.wall_seconds, serial_seconds,
+              report.wall_seconds > 0.0 ? serial_seconds / report.wall_seconds
+                                        : 0.0,
+              static_cast<long long>(report.weights_bytes), max_batch);
+
+  // --- Gate 1: batched paged BBFP(4,2) vs serial contiguous decodes ---
+  std::printf("\nBit-identity check: %d concurrent BBFP(4,2) requests vs "
+              "serial decodes...\n",
+              num_requests);
   int mismatches = 0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const std::vector<int> reference = serve::reference_decode(
-        *prepared, quant::spec_of("BBFP(4,2)"), requests[i]);
-    if (report.results[i].generated != reference) {
+    if (report.results[i].generated != references[i]) {
       ++mismatches;
       std::fprintf(stderr, "  request %zu: batched stream != serial stream\n",
                    i);
     }
+  }
+  const std::uint32_t expected_hash = reference_stream_hash(references);
+  if (report.stream_hash != expected_hash) {
+    ++mismatches;
+    std::fprintf(stderr, "  stream_hash %u != reference %u\n",
+                 report.stream_hash, expected_hash);
   }
   std::printf("  %s (%d/%zu streams identical, stream_hash=%u)\n",
               mismatches == 0 ? "PASS" : "FAIL",

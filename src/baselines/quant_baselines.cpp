@@ -63,14 +63,23 @@ std::string IntQuantBackend::name() const {
   return "INT" + std::to_string(weight_bits_);
 }
 
-Matrix IntQuantBackend::quantise_per_row(const Matrix& m, int bits) const {
-  return quantise_rows_with(m, [bits](std::span<const float> in,
-                                      std::span<float> out) {
+void IntQuantBackend::quantise_per_row_into(const Matrix& m, int bits,
+                                            Matrix& q) const {
+  q.resize(m.rows(), m.cols());
+  for (int r = 0; r < m.rows(); ++r) {
+    const std::span<const float> in = m.row(r);
+    const std::span<float> out = q.row(r);
     const float scale =
         absmax(in) / static_cast<float>((1 << (bits - 1)) - 1);
     for (std::size_t i = 0; i < in.size(); ++i)
       out[i] = snap(in[i], scale, bits);
-  });
+  }
+}
+
+Matrix IntQuantBackend::quantise_per_row(const Matrix& m, int bits) const {
+  Matrix q;
+  quantise_per_row_into(m, bits, q);
+  return q;
 }
 
 Matrix IntQuantBackend::quantise_per_col(const Matrix& m, int bits) const {
@@ -91,8 +100,11 @@ int IntQuantBackend::prepare_weights(const Matrix& w, const std::string& tag) {
 
 void IntQuantBackend::matmul(const Matrix& acts, int weight_handle,
                              Matrix& out) {
-  const Matrix qa = quantise_per_row(acts, act_bits_);
-  llm::matmul(qa, weights_[static_cast<std::size_t>(weight_handle)], out);
+  // Member scratch: per-row quantisation writes acts' shape, so in a
+  // steady-state decode loop this reuses one buffer (no allocation).
+  quantise_per_row_into(acts, act_bits_, act_scratch_);
+  llm::matmul(act_scratch_, weights_[static_cast<std::size_t>(weight_handle)],
+              out);
 }
 
 void IntQuantBackend::matmul_dynamic(const Matrix& a, const Matrix& b,

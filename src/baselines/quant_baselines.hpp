@@ -20,6 +20,9 @@ class IntQuantBackend final : public llm::MatmulBackend {
               llm::Matrix& out) override;
   void matmul_dynamic(const llm::Matrix& a, const llm::Matrix& b,
                       llm::Matrix& out) override;
+  [[nodiscard]] std::int64_t weights_bytes() const override {
+    return llm::matrices_bytes(weights_);
+  }
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] llm::Matrix quantise_per_row(const llm::Matrix& m,
@@ -28,9 +31,16 @@ class IntQuantBackend final : public llm::MatmulBackend {
                                              int bits) const;
 
  private:
+  /// Per-row quantisation into a caller-owned matrix (resized to m's
+  /// shape): the one implementation both quantise_per_row and the
+  /// allocation-free matmul() path share.
+  void quantise_per_row_into(const llm::Matrix& m, int bits,
+                             llm::Matrix& q) const;
+
   int weight_bits_;
   int act_bits_;
   std::vector<llm::Matrix> weights_;
+  llm::Matrix act_scratch_;  ///< reused by matmul(); rows quantised per call
 };
 
 /// Oltron: group-wise low-bit quantisation (3-bit magnitude grid) with a
@@ -47,6 +57,9 @@ class OltronBackend final : public llm::MatmulBackend {
               llm::Matrix& out) override;
   void matmul_dynamic(const llm::Matrix& a, const llm::Matrix& b,
                       llm::Matrix& out) override;
+  [[nodiscard]] std::int64_t weights_bytes() const override {
+    return llm::matrices_bytes(weights_);
+  }
   [[nodiscard]] std::string name() const override { return "Oltron"; }
 
   /// Quantise a contiguous vector in `group`-sized chunks with the budget
@@ -77,6 +90,9 @@ class OliveBackend final : public llm::MatmulBackend {
               llm::Matrix& out) override;
   void matmul_dynamic(const llm::Matrix& a, const llm::Matrix& b,
                       llm::Matrix& out) override;
+  [[nodiscard]] std::int64_t weights_bytes() const override {
+    return llm::matrices_bytes(weights_);
+  }
   [[nodiscard]] std::string name() const override { return "Olive"; }
 
   void quantise_vector(std::span<const float> in, std::span<float> out) const;
@@ -102,6 +118,9 @@ class OmniquantBackend final : public llm::MatmulBackend {
               llm::Matrix& out) override;
   void matmul_dynamic(const llm::Matrix& a, const llm::Matrix& b,
                       llm::Matrix& out) override;
+  [[nodiscard]] std::int64_t weights_bytes() const override {
+    return llm::matrices_bytes(weights_);
+  }
   [[nodiscard]] std::string name() const override { return "OmniQuant"; }
 
   /// Clip-search quantisation of one channel (exposed for tests).

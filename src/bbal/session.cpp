@@ -46,6 +46,9 @@ class CapturingMatmul final : public llm::MatmulBackend {
     inner_->matmul_dynamic(a, b, out);
   }
 
+  [[nodiscard]] std::int64_t weights_bytes() const override {
+    return inner_->weights_bytes();
+  }
   [[nodiscard]] std::string name() const override { return inner_->name(); }
 
   [[nodiscard]] const std::vector<accel::GemmShape>& captured() const {

@@ -81,8 +81,9 @@ Matrix BlockQuantMatmulBackend::quantise_weights(const Matrix& w) const {
   return q;
 }
 
-Matrix BlockQuantMatmulBackend::quantise_activations(const Matrix& acts) const {
-  Matrix q(acts.rows(), acts.cols());
+void BlockQuantMatmulBackend::quantise_activations_into(const Matrix& acts,
+                                                        Matrix& q) const {
+  q.resize(acts.rows(), acts.cols());
   const auto row_chunk = [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t r = r0; r < r1; ++r)
       quant::quantise(acts.row(static_cast<int>(r)), act_fmt_,
@@ -94,6 +95,11 @@ Matrix BlockQuantMatmulBackend::quantise_activations(const Matrix& acts) const {
     common::ThreadPool::global().parallel_for_chunks(0, acts.rows(),
                                                      /*grain=*/0, row_chunk);
   }
+}
+
+Matrix BlockQuantMatmulBackend::quantise_activations(const Matrix& acts) const {
+  Matrix q;
+  quantise_activations_into(acts, q);
   return q;
 }
 
@@ -108,8 +114,12 @@ void BlockQuantMatmulBackend::matmul(const Matrix& acts, int weight_handle,
                                      Matrix& out) {
   assert(weight_handle >= 0 &&
          weight_handle < static_cast<int>(quantised_weights_.size()));
-  const Matrix qa = quantise_activations(acts);
-  llm::matmul(qa, quantised_weights_[static_cast<std::size_t>(weight_handle)],
+  // The quantised-activation scratch is a member so the decode loop's
+  // steady state allocates nothing; backends are single-session objects
+  // (see bbal/registry.hpp), so matmul() is never re-entered.
+  quantise_activations_into(acts, act_scratch_);
+  llm::matmul(act_scratch_,
+              quantised_weights_[static_cast<std::size_t>(weight_handle)],
               out);
 }
 

@@ -4,13 +4,26 @@
 // swaps the nonlinear backend.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "llm/tensor.hpp"
 #include "quant/format.hpp"
 
 namespace bbal::llm {
+
+/// Payload bytes of a set of prepared weight matrices — the accounting
+/// every float-storing MatmulBackend uses for weights_bytes().
+[[nodiscard]] inline std::int64_t matrices_bytes(
+    const std::vector<Matrix>& weights) {
+  std::int64_t bytes = 0;
+  for (const Matrix& w : weights)
+    bytes += static_cast<std::int64_t>(w.size()) *
+             static_cast<std::int64_t>(sizeof(float));
+  return bytes;
+}
 
 /// Linear-layer executor. Weights are registered once (so backends can
 /// pre-quantise them); activations are processed per call.
@@ -28,6 +41,12 @@ class MatmulBackend {
   /// out = a x b with both sides quantised on the fly where applicable.
   virtual void matmul_dynamic(const Matrix& a, const Matrix& b,
                               Matrix& out) = 0;
+
+  /// Bytes of prepared weight storage this backend holds (the quantised
+  /// copies registered through prepare_weights). The serving engine
+  /// surfaces this as the weights_bytes metric: with one shared backend
+  /// the figure is paid once per engine, not once per execution slot.
+  [[nodiscard]] virtual std::int64_t weights_bytes() const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -50,6 +69,9 @@ class Fp32MatmulBackend final : public MatmulBackend {
   int prepare_weights(const Matrix& w, const std::string& tag) override;
   void matmul(const Matrix& acts, int weight_handle, Matrix& out) override;
   void matmul_dynamic(const Matrix& a, const Matrix& b, Matrix& out) override;
+  [[nodiscard]] std::int64_t weights_bytes() const override {
+    return matrices_bytes(weights_);
+  }
   [[nodiscard]] std::string name() const override { return "FP32"; }
 
  private:
@@ -79,10 +101,16 @@ class BlockQuantMatmulBackend final : public MatmulBackend {
   int prepare_weights(const Matrix& w, const std::string& tag) override;
   void matmul(const Matrix& acts, int weight_handle, Matrix& out) override;
   void matmul_dynamic(const Matrix& a, const Matrix& b, Matrix& out) override;
+  [[nodiscard]] std::int64_t weights_bytes() const override {
+    return matrices_bytes(quantised_weights_);
+  }
   [[nodiscard]] std::string name() const override;
 
   /// Quantise activations row-block-wise (exposed for tests/analysis).
   [[nodiscard]] Matrix quantise_activations(const Matrix& acts) const;
+  /// Row-block-wise activation quantisation into a caller-owned matrix
+  /// (resized to acts' shape): the allocation-free path matmul() runs on.
+  void quantise_activations_into(const Matrix& acts, Matrix& q) const;
   /// Quantise a weight matrix column-block-wise along K (exposed for tests).
   [[nodiscard]] Matrix quantise_weights(const Matrix& w) const;
 
@@ -90,6 +118,7 @@ class BlockQuantMatmulBackend final : public MatmulBackend {
   quant::BlockFormat act_fmt_;
   quant::BlockFormat weight_fmt_;
   std::vector<Matrix> quantised_weights_;
+  Matrix act_scratch_;  ///< reused by matmul(); rows quantised per call
 };
 
 /// Convenience: both sides in the same format (the paper's W&A setting).

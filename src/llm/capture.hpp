@@ -21,6 +21,9 @@ class CapturingMatmulBackend final : public MatmulBackend {
   int prepare_weights(const Matrix& w, const std::string& tag) override;
   void matmul(const Matrix& acts, int weight_handle, Matrix& out) override;
   void matmul_dynamic(const Matrix& a, const Matrix& b, Matrix& out) override;
+  [[nodiscard]] std::int64_t weights_bytes() const override {
+    return inner_.weights_bytes();
+  }
   [[nodiscard]] std::string name() const override { return "FP32+capture"; }
 
   /// Captured activations per layer kind (flattened across calls).

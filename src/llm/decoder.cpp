@@ -23,11 +23,29 @@ std::vector<float> Decoder::step(int token, KVCache& cache) {
 }
 
 std::vector<float> Decoder::step(int token, KVCacheView& view) {
+  // A batch of one: the single-request path shares the fused datapath
+  // (and its persistent workspace), so it too stops allocating per token
+  // — apart from this API's returned vector.
+  KVCacheView* views[1] = {&view};
+  step_batch(std::span<const int>(&token, 1),
+             std::span<KVCacheView* const>(views, 1), ws_.logits);
+  const std::span<const float> row = ws_.logits.row(0);
+  return {row.begin(), row.end()};
+}
+
+void Decoder::step_batch(std::span<const int> tokens,
+                         std::span<KVCacheView* const> views,
+                         Matrix& logits_out) {
   const ModelConfig& cfg = model_.config();
   const TransformerWeights& w = model_.weights();
   MatmulBackend& mm = model_.matmul_backend();
   NonlinearBackend& nl = model_.nonlinear_backend();
-  assert(token >= 0 && token < cfg.vocab);
+  assert(tokens.size() == views.size());
+  const int batch = static_cast<int>(tokens.size());
+  if (batch == 0) {
+    logits_out.resize(0, cfg.vocab);
+    return;
+  }
 
   const int d = cfg.d_model;
   const int heads = cfg.n_heads;
@@ -36,21 +54,24 @@ std::vector<float> Decoder::step(int token, KVCacheView& view) {
                          std::sqrt(static_cast<float>(dh));
   const float emb_scale = 1.0f / std::sqrt(static_cast<float>(d));
 
-  // x: running hidden state for this position (1 x d as a Matrix so the
-  // quantising backends see the same row-blocked layout as batched mode).
-  Matrix x(1, d);
-  {
+  // x: stacked hidden states, one row per sequence, so the quantising
+  // backends see one (batch x d_model) activation matrix per projection.
+  ws_.x.resize(batch, d);
+  ws_.pos.resize(static_cast<std::size_t>(batch));
+  for (int r = 0; r < batch; ++r) {
+    const int token = tokens[static_cast<std::size_t>(r)];
+    assert(token >= 0 && token < cfg.vocab);
+    assert(views[static_cast<std::size_t>(r)] != nullptr);
     const std::span<const float> emb = w.embedding.row(token);
+    const std::span<float> row = ws_.x.row(r);
     for (int c = 0; c < d; ++c)
-      x.at(0, c) = emb[static_cast<std::size_t>(c)] * emb_scale;
+      row[static_cast<std::size_t>(c)] =
+          emb[static_cast<std::size_t>(c)] * emb_scale;
+    // The position this step writes for sequence r; every layer appends
+    // at the same index (KVCacheView protocol), so it is read once.
+    ws_.pos[static_cast<std::size_t>(r)] =
+        views[static_cast<std::size_t>(r)]->length();
   }
-
-  // The position this step writes; every layer appends at the same index
-  // (KVCacheView protocol), so it is read once, up front.
-  const int pos = view.length();
-  const int ctx = pos + 1;
-  std::vector<std::span<const float>> krows(static_cast<std::size_t>(ctx));
-  std::vector<std::span<const float>> vrows(static_cast<std::size_t>(ctx));
 
   for (int l = 0; l < cfg.n_layers; ++l) {
     const LayerWeights& lw = w.layers[static_cast<std::size_t>(l)];
@@ -58,73 +79,81 @@ std::vector<float> Decoder::step(int token, KVCacheView& view) {
         model_.layer_handles()[static_cast<std::size_t>(l)];
 
     // --- Attention ---
-    Matrix normed = x;
-    rmsnorm_rows(normed, lw.attn_norm_gain);
-    Matrix q, k, v;
-    mm.matmul(normed, h.wq, q);
-    mm.matmul(normed, h.wk, k);
-    mm.matmul(normed, h.wv, v);
-    view.append(l, k.row(0), v.row(0));
-    // Row lookups are hoisted out of the per-head loops so a paged view
-    // pays one page-table walk per position, not one per element; the
-    // element read order (and therefore the accumulation order) is
-    // unchanged from the contiguous path.
-    for (int p = 0; p < ctx; ++p) {
-      krows[static_cast<std::size_t>(p)] = view.k_at(l, p);
-      vrows[static_cast<std::size_t>(p)] = view.v_at(l, p);
-    }
+    ws_.normed = ws_.x;
+    rmsnorm_rows(ws_.normed, lw.attn_norm_gain);
+    mm.matmul(ws_.normed, h.wq, ws_.q);
+    mm.matmul(ws_.normed, h.wk, ws_.k);
+    mm.matmul(ws_.normed, h.wv, ws_.v);
+    for (int r = 0; r < batch; ++r)
+      views[static_cast<std::size_t>(r)]->append(l, ws_.k.row(r),
+                                                 ws_.v.row(r));
 
-    Matrix context(1, d);
-    std::vector<float> scores(static_cast<std::size_t>(ctx));
-    for (int head = 0; head < heads; ++head) {
-      const int off = head * dh;
+    // Per-sequence attention over each row's own (ragged) context. The
+    // loop stays serial: NonlinearBackend carries no thread-safety
+    // contract, and the parallelism lives in the batched GEMMs around it
+    // (llm::matmul row tiling). Row lookups are hoisted per position so a
+    // paged view pays one page-table walk per position, not per element;
+    // the element read order (and accumulation order) matches the
+    // single-request path exactly.
+    ws_.context.resize(batch, d);
+    for (int r = 0; r < batch; ++r) {
+      const KVCacheView& view = *views[static_cast<std::size_t>(r)];
+      const int ctx = ws_.pos[static_cast<std::size_t>(r)] + 1;
+      ws_.krows.resize(static_cast<std::size_t>(ctx));
+      ws_.vrows.resize(static_cast<std::size_t>(ctx));
+      ws_.scores.resize(static_cast<std::size_t>(ctx));
       for (int p = 0; p < ctx; ++p) {
-        double acc = 0.0;
-        const std::span<const float> krow = krows[static_cast<std::size_t>(p)];
-        for (int j = 0; j < dh; ++j)
-          acc += static_cast<double>(q.at(0, off + j)) *
-                 krow[static_cast<std::size_t>(off + j)];
-        scores[static_cast<std::size_t>(p)] =
-            static_cast<float>(acc) * inv_sqrt;
+        ws_.krows[static_cast<std::size_t>(p)] = view.k_at(l, p);
+        ws_.vrows[static_cast<std::size_t>(p)] = view.v_at(l, p);
       }
-      nl.softmax(scores);
-      for (int j = 0; j < dh; ++j) {
-        double acc = 0.0;
-        for (int p = 0; p < ctx; ++p)
-          acc += static_cast<double>(scores[static_cast<std::size_t>(p)]) *
-                 vrows[static_cast<std::size_t>(p)]
-                      [static_cast<std::size_t>(off + j)];
-        context.at(0, off + j) = static_cast<float>(acc);
+      const std::span<float> scores(ws_.scores.data(),
+                                    static_cast<std::size_t>(ctx));
+      for (int head = 0; head < heads; ++head) {
+        const int off = head * dh;
+        for (int p = 0; p < ctx; ++p) {
+          double acc = 0.0;
+          const std::span<const float> krow =
+              ws_.krows[static_cast<std::size_t>(p)];
+          for (int j = 0; j < dh; ++j)
+            acc += static_cast<double>(ws_.q.at(r, off + j)) *
+                   krow[static_cast<std::size_t>(off + j)];
+          scores[static_cast<std::size_t>(p)] =
+              static_cast<float>(acc) * inv_sqrt;
+        }
+        nl.softmax(scores);
+        for (int j = 0; j < dh; ++j) {
+          double acc = 0.0;
+          for (int p = 0; p < ctx; ++p)
+            acc += static_cast<double>(scores[static_cast<std::size_t>(p)]) *
+                   ws_.vrows[static_cast<std::size_t>(p)]
+                           [static_cast<std::size_t>(off + j)];
+          ws_.context.at(r, off + j) = static_cast<float>(acc);
+        }
       }
     }
-    Matrix attn_out;
-    mm.matmul(context, h.wo, attn_out);
+    mm.matmul(ws_.context, h.wo, ws_.attn_out);
     const auto branch = static_cast<float>(cfg.residual_branch_scale);
-    for (float& vv : attn_out.flat()) vv *= branch;
-    add_inplace(x, attn_out);
+    for (float& vv : ws_.attn_out.flat()) vv *= branch;
+    add_inplace(ws_.x, ws_.attn_out);
 
     // --- MLP ---
-    Matrix normed2 = x;
-    rmsnorm_rows(normed2, lw.mlp_norm_gain);
-    Matrix gate, up;
-    mm.matmul(normed2, h.w_gate, gate);
-    mm.matmul(normed2, h.w_up, up);
-    nl.silu(gate.row(0));
-    const std::span<float> g = gate.flat();
-    const std::span<const float> u = up.flat();
+    ws_.normed = ws_.x;
+    rmsnorm_rows(ws_.normed, lw.mlp_norm_gain);
+    mm.matmul(ws_.normed, h.w_gate, ws_.gate);
+    mm.matmul(ws_.normed, h.w_up, ws_.up);
+    for (int r = 0; r < batch; ++r) nl.silu(ws_.gate.row(r));
+    const std::span<float> g = ws_.gate.flat();
+    const std::span<const float> u = ws_.up.flat();
     for (std::size_t i = 0; i < g.size(); ++i) g[i] *= u[i];
-    Matrix down;
-    mm.matmul(gate, h.w_down, down);
-    for (float& vv : down.flat()) vv *= branch;
-    add_inplace(x, down);
+    mm.matmul(ws_.gate, h.w_down, ws_.down);
+    for (float& vv : ws_.down.flat()) vv *= branch;
+    add_inplace(ws_.x, ws_.down);
   }
 
-  rmsnorm_rows(x, w.final_norm_gain);
-  Matrix logits;
-  mm.matmul(x, model_.lm_head_handle(), logits);
-  std::vector<float> out(logits.row(0).begin(), logits.row(0).end());
-  for (float& vv : out) vv *= model_.logit_scale();
-  return out;
+  rmsnorm_rows(ws_.x, w.final_norm_gain);
+  mm.matmul(ws_.x, model_.lm_head_handle(), logits_out);
+  const float scale = model_.logit_scale();
+  for (float& vv : logits_out.flat()) vv *= scale;
 }
 
 }  // namespace bbal::llm

@@ -126,6 +126,27 @@ class Decoder {
   /// same context.
   [[nodiscard]] std::vector<float> step(int token, KVCacheView& view);
 
+  /// Fused batched step: advance tokens.size() independent sequences by
+  /// one position in a single forward pass. Row r of the stacked
+  /// (batch x d_model) activation matrix carries sequence r, so every
+  /// projection (QKV, attention output, FFN up/down, logits) is one GEMM
+  /// over the whole batch instead of batch M=1 calls — activations are
+  /// quantised once per projection, and llm::matmul's row tiling spreads
+  /// the batch over the thread pool. Attention stays per sequence over
+  /// its own KVCacheView (ragged contexts are fine: each row attends over
+  /// its own length), and because every llm::matmul output row is an
+  /// independent serial accumulation, row r is bit-identical to a step()
+  /// of sequence r alone — at any BBAL_THREADS (tested in test_decoder).
+  ///
+  /// tokens and views must be the same non-zero size, views non-null and
+  /// distinct. logits_out is resized to (batch x vocab) reusing its
+  /// storage; together with the decoder's persistent per-layer workspace
+  /// this makes the steady-state loop allocation-free. Rows follow the
+  /// caller's order, so retiring or back-filling sequences between calls
+  /// just changes which views are passed.
+  void step_batch(std::span<const int> tokens,
+                  std::span<KVCacheView* const> views, Matrix& logits_out);
+
   /// A fresh, empty cache sized for this decoder's model.
   [[nodiscard]] KVCache make_cache() const;
 
@@ -133,8 +154,25 @@ class Decoder {
   [[nodiscard]] int context_length() const { return cache_.length(); }
 
  private:
+  /// Per-layer scratch reused across step_batch calls (and by the
+  /// single-token step() overloads, which run as a batch of one): after
+  /// the first call at a given batch size and context, no step allocates.
+  struct BatchWorkspace {
+    Matrix x;         ///< running hidden state, batch x d_model
+    Matrix normed;    ///< RMSNorm input copy (attention + MLP)
+    Matrix q, k, v;   ///< QKV projections, batch x d_model
+    Matrix context;   ///< attention mix, batch x d_model
+    Matrix attn_out;  ///< output projection
+    Matrix gate, up, down;  ///< FFN activations
+    Matrix logits;    ///< single-step logits (step() overloads)
+    std::vector<int> pos;  ///< per-row write position, read pre-append
+    std::vector<std::span<const float>> krows, vrows;  ///< hoisted rows
+    std::vector<float> scores;  ///< per-head attention scores
+  };
+
   Transformer& model_;
   KVCache cache_;
+  BatchWorkspace ws_;
 };
 
 }  // namespace bbal::llm

@@ -17,16 +17,20 @@ constexpr std::int64_t kParallelMinMacs = 1 << 15;
 
 void matmul(const Matrix& a, const Matrix& b, Matrix& c) {
   assert(a.cols() == b.rows());
+  assert(&c != &a && &c != &b);
   const int m = a.rows();
   const int k = a.cols();
   const int n = b.cols();
-  c = Matrix(m, n);
+  c.resize(m, n);
   // Output rows are independent, so the tile is a row chunk; every row is
   // computed by exactly the serial code below regardless of thread count,
   // keeping results bit-identical (the determinism contract of the
-  // parallel engine — see common/threadpool.hpp).
+  // parallel engine — see common/threadpool.hpp). The accumulator is
+  // per-executor scratch that persists across calls, so a steady-state
+  // decode loop pays no allocation here.
   const auto row_chunk = [&](std::int64_t i0, std::int64_t i1) {
-    std::vector<double> acc(static_cast<std::size_t>(n));
+    thread_local std::vector<double> acc;
+    acc.resize(static_cast<std::size_t>(n));
     for (std::int64_t i = i0; i < i1; ++i) {
       std::fill(acc.begin(), acc.end(), 0.0);
       const std::span<const float> arow = a.row(static_cast<int>(i));

@@ -21,6 +21,19 @@ class Matrix {
   [[nodiscard]] int cols() const { return cols_; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
 
+  /// Reshape to rows x cols, keeping the underlying capacity: a matrix
+  /// that is resized back and forth between shapes it has already held
+  /// never reallocates (the zero-allocation contract of the decode step
+  /// loop). A no-op when the shape already matches. Contents are
+  /// unspecified after a shape change — callers are expected to overwrite
+  /// every element (llm::matmul does).
+  void resize(int rows, int cols) {
+    if (rows == rows_ && cols == cols_) return;
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<std::size_t>(rows) * cols);
+  }
+
   [[nodiscard]] float& at(int r, int c) {
     return data_[static_cast<std::size_t>(r) * cols_ + c];
   }
@@ -46,7 +59,9 @@ class Matrix {
   std::vector<float> data_;
 };
 
-/// C = A * B. A: MxK, B: KxN, C resized to MxN. Double accumulation.
+/// C = A * B. A: MxK, B: KxN, C resized to MxN (reusing its storage when
+/// the shape already matches — no allocation in a steady-state loop).
+/// C must not alias A or B. Double accumulation per output row.
 void matmul(const Matrix& a, const Matrix& b, Matrix& c);
 [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
 

@@ -39,6 +39,13 @@ class Transformer {
   [[nodiscard]] MatmulBackend& matmul_backend() { return matmul_; }
   [[nodiscard]] NonlinearBackend& nonlinear_backend() { return nonlinear_; }
 
+  /// Bytes of prepared (quantised) weight storage the matmul backend
+  /// holds for this model's registered matrices — the footprint the
+  /// serving engine reports as weights_bytes.
+  [[nodiscard]] std::int64_t weights_bytes() const {
+    return matmul_.weights_bytes();
+  }
+
   /// Handles of the registered weight matrices, per layer, in the order
   /// {wq, wk, wv, wo, w_gate, w_up, w_down}; last entry is the LM head.
   struct LayerHandles {

@@ -9,7 +9,6 @@
 #include "accel/workload.hpp"
 #include "bbal/registry.hpp"
 #include "common/stats.hpp"
-#include "common/threadpool.hpp"
 #include "hw/sram.hpp"
 #include "serve/workload.hpp"
 
@@ -85,23 +84,21 @@ Result<Engine> Engine::create(
     engine.accel_->strategy = matmul.to_string();
   }
 
-  // Build the execution slots: each prepares (quantises) the weights once.
-  engine.slots_.reserve(static_cast<std::size_t>(options.max_batch));
-  for (int s = 0; s < options.max_batch; ++s) {
-    auto mm = registry.make_matmul(matmul);
-    if (!mm.is_ok()) return R::error(mm.message());
-    auto nl = registry.make_nonlinear(nonlinear);
-    if (!nl.is_ok()) return R::error(nl.message());
-    Slot slot;
-    slot.matmul = std::move(mm).value();
-    slot.nonlinear = std::move(nl).value();
-    slot.model = std::make_unique<llm::Transformer>(
-        engine.prepared_->config, engine.prepared_->weights, *slot.matmul,
-        *slot.nonlinear);
-    slot.model->set_logit_scale(engine.prepared_->logit_scale);
-    slot.decoder = std::make_unique<llm::Decoder>(*slot.model);
-    engine.slots_.push_back(std::move(slot));
-  }
+  // Build the one shared pipeline: the weights are prepared (quantised)
+  // exactly once here, regardless of max_batch — every request's row runs
+  // through this backend pair via the fused Decoder::step_batch.
+  engine.max_batch_ = options.max_batch;
+  auto mm = registry.make_matmul(matmul);
+  if (!mm.is_ok()) return R::error(mm.message());
+  auto nl = registry.make_nonlinear(nonlinear);
+  if (!nl.is_ok()) return R::error(nl.message());
+  engine.matmul_backend_ = std::move(mm).value();
+  engine.nonlinear_backend_ = std::move(nl).value();
+  engine.model_ = std::make_unique<llm::Transformer>(
+      engine.prepared_->config, engine.prepared_->weights,
+      *engine.matmul_backend_, *engine.nonlinear_backend_);
+  engine.model_->set_logit_scale(engine.prepared_->logit_scale);
+  engine.decoder_ = std::make_unique<llm::Decoder>(*engine.model_);
   return engine;
 }
 
@@ -142,6 +139,7 @@ Report Engine::run() {
   report.policy = std::string(policy_->name());
   report.max_batch = max_batch();
   report.has_cost = accel_.has_value();
+  report.weights_bytes = weights_bytes();
 
   std::vector<Request> requests(std::make_move_iterator(queue_.begin()),
                                 std::make_move_iterator(queue_.end()));
@@ -207,11 +205,10 @@ Report Engine::run() {
                                    static_cast<std::int64_t>(sizeof(float));
 
   std::vector<InFlight> active;
-  active.reserve(slots_.size());
-  // Free-slot stack, kept sorted so the lowest-numbered slot is admitted
-  // first (a deterministic request -> slot mapping).
-  std::vector<int> free_slots;
-  for (int s = max_batch() - 1; s >= 0; --s) free_slots.push_back(s);
+  active.reserve(static_cast<std::size_t>(max_batch_));
+  // With one shared pipeline a "slot" is just admission headroom: how
+  // many more requests this tick's fused batch may carry.
+  int free_slots = max_batch_;
 
   // Pages the active set is still going to allocate: the admission budget
   // that keeps mid-run exhaustion impossible under an explicit pool cap.
@@ -230,6 +227,11 @@ Report Engine::run() {
            kv.max_pages();
   };
 
+  // Per-tick batch scratch, reused across ticks: once each vector has hit
+  // its high-water mark, the steady-state loop allocates nothing.
+  std::vector<int> tick_tokens;
+  std::vector<llm::KVCacheView*> tick_views;
+  llm::Matrix tick_logits;
   std::vector<double> token_latencies;  ///< simulated, per emitted token
   accel::EnergyBreakdown energy;
   double kv_energy_j = 0.0;
@@ -237,12 +239,11 @@ Report Engine::run() {
   std::int64_t occupancy_sum = 0;
   std::int64_t kv_pages_sum = 0;          ///< pages in use, summed per tick
   std::int64_t contiguous_peak_tokens = 0;  ///< monolithic-cache comparison
-  common::ThreadPool& pool = common::ThreadPool::global();
 
   const auto run_start = std::chrono::steady_clock::now();
   while (!waiting.empty() || !active.empty()) {
     // --- Admission: the policy picks, the page budget gates ---
-    while (!waiting.empty() && !free_slots.empty()) {
+    while (!waiting.empty() && free_slots > 0) {
       std::vector<std::size_t> prefilling;
       for (const InFlight& flight : active)
         if (flight.prompt_pos <
@@ -273,8 +274,7 @@ Report Engine::run() {
       InFlight flight;
       flight.request_index = index;
       waiting.erase(waiting.begin() + pick);
-      flight.slot = free_slots.back();
-      free_slots.pop_back();
+      --free_slots;
       flight.seq = sharing ? kv.create(req.prompt) : kv.create();
       flight.view = PagedKVView(kv, flight.seq);
       flight.prompt_pos = kv.shared_length(flight.seq);
@@ -287,10 +287,10 @@ Report Engine::run() {
     occupancy_sum += static_cast<std::int64_t>(active.size());
 
     // --- Reserve this tick's KV positions (serial; allocation and
-    // copy-on-write happen here, so the parallel step below only writes
-    // pre-reserved, per-sequence slots). A reservation failure — only
-    // possible under an explicit undersized kv_pool_pages — retires the
-    // request with an error instead of aborting.
+    // copy-on-write happen here, so the fused step below only appends
+    // into pre-reserved, per-sequence slots). A reservation failure —
+    // only possible under an explicit undersized kv_pool_pages — retires
+    // the request with an error instead of aborting.
     for (InFlight& flight : active) {
       const Status reserved = kv.reserve_next(flight.seq);
       if (!reserved.is_ok()) {
@@ -301,10 +301,9 @@ Report Engine::run() {
     std::erase_if(active, [&](InFlight& flight) {
       if (!flight.failed) return false;
       kv.release(flight.seq);
-      free_slots.push_back(flight.slot);
+      ++free_slots;
       return true;
     });
-    std::sort(free_slots.begin(), free_slots.end(), std::greater<int>());
     kv_pages_sum += kv.stats().pages_in_use;
 
     // Price the tick before stepping it: each active request's decode
@@ -339,32 +338,40 @@ Report Engine::run() {
                      kv_sram.access_pj() * 1e-12;
     }
 
-    // Step every active request by one token, batched across the pool.
-    // Slots and sequences are private to their request, so bodies touch
-    // disjoint state and the numerics are bit-identical to a serial drain.
-    pool.parallel_for(
-        0, static_cast<std::int64_t>(active.size()),
-        [&](std::int64_t i) {
-          InFlight& flight = active[static_cast<std::size_t>(i)];
-          const Request& req = requests[flight.request_index];
-          RequestResult& out = report.results[flight.request_index];
-          llm::Decoder& decoder =
-              *slots_[static_cast<std::size_t>(flight.slot)].decoder;
-          const int prompt_len = static_cast<int>(req.prompt.size());
-          const bool prefilling = flight.prompt_pos < prompt_len;
-          const int input =
-              prefilling
-                  ? req.prompt[static_cast<std::size_t>(flight.prompt_pos)]
-                  : flight.last_token;
-          const std::vector<float> logits = decoder.step(input, flight.view);
-          if (prefilling) ++flight.prompt_pos;
-          // The tick that consumes the final prompt token emits the first
-          // generated token; every later tick emits one more.
-          if (flight.prompt_pos == prompt_len) {
-            flight.last_token = greedy_argmax(logits);
-            out.generated.push_back(flight.last_token);
-          }
-        });
+    // Advance every active request by one token in ONE fused forward:
+    // row i of the batch carries active[i]'s hidden state, each
+    // projection is a single batched GEMM (activations quantised once,
+    // rows tiled over the thread pool inside llm::matmul), and attention
+    // runs per sequence over its own view. Each row's arithmetic is
+    // bit-identical to an isolated M=1 step (independent per-row
+    // accumulators), so streams match the serial reference at any
+    // BBAL_THREADS.
+    tick_tokens.clear();
+    tick_views.clear();
+    for (InFlight& flight : active) {
+      const Request& req = requests[flight.request_index];
+      const bool prefilling =
+          flight.prompt_pos < static_cast<int>(req.prompt.size());
+      tick_tokens.push_back(
+          prefilling ? req.prompt[static_cast<std::size_t>(flight.prompt_pos)]
+                     : flight.last_token);
+      tick_views.push_back(&flight.view);
+    }
+    decoder_->step_batch(tick_tokens, tick_views, tick_logits);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      InFlight& flight = active[i];
+      const Request& req = requests[flight.request_index];
+      RequestResult& out = report.results[flight.request_index];
+      const int prompt_len = static_cast<int>(req.prompt.size());
+      if (flight.prompt_pos < prompt_len) ++flight.prompt_pos;
+      // The tick that consumes the final prompt token emits the first
+      // generated token; every later tick emits one more.
+      if (flight.prompt_pos == prompt_len) {
+        flight.last_token =
+            greedy_argmax(tick_logits.row(static_cast<int>(i)));
+        out.generated.push_back(flight.last_token);
+      }
+    }
     const double wall_now = seconds_since(run_start);
 
     // What PR 3's per-request contiguous caches would hold right now.
@@ -412,10 +419,9 @@ Report Engine::run() {
         out.tokens_per_second =
             static_cast<double>(out.generated.size()) / out.total_seconds;
       kv.release(flight.seq);
-      free_slots.push_back(flight.slot);
+      ++free_slots;
       return true;
     });
-    std::sort(free_slots.begin(), free_slots.end(), std::greater<int>());
   }
   report.wall_seconds = seconds_since(run_start);
 
@@ -494,6 +500,7 @@ std::string Report::to_json() const {
   append_json_int(os, "engine_steps", engine_steps);
   append_json(os, "mean_batch_occupancy", mean_batch_occupancy);
   append_json_int(os, "stream_hash", static_cast<std::int64_t>(stream_hash));
+  append_json_int(os, "weights_bytes", weights_bytes);
   append_json_int(os, "kv_pages_allocated", kv_pages_allocated);
   append_json_int(os, "kv_bytes_peak", kv_bytes_peak);
   append_json_int(os, "kv_bytes_peak_contiguous", kv_bytes_peak_contiguous);

@@ -2,33 +2,41 @@
 // quantised backends: the repo's first *online* workload (ROADMAP: serve
 // decode-phase traffic, the bottleneck BBAL's datapath targets in Fig. 1b).
 //
-// The engine owns max_batch execution slots. Each slot is a full quantised
-// pipeline — a MatmulBackend + NonlinearBackend pair resolved through the
-// BackendRegistry with the weights prepared (quantised) once at engine
-// construction, plus a Decoder. Requests queue in submit() order; run()
-// executes the continuous-batching loop:
+// The engine owns ONE quantised pipeline — a MatmulBackend +
+// NonlinearBackend pair resolved through the BackendRegistry with the
+// weights prepared (quantised) exactly once at engine construction, plus
+// a Transformer and a Decoder shared by every request (the quantised
+// weight footprint is surfaced as Report::weights_bytes; it does not
+// scale with max_batch). max_batch is purely an admission cap: how many
+// requests may be in flight per tick. Requests queue in submit() order;
+// run() executes the continuous-batching loop:
 //
-//   tick:  admit queued requests into free slots in the order the
+//   tick:  admit queued requests into free batch slots in the order the
 //          configured SchedulerPolicy picks (fifo / sjf / prefix-aware,
 //          see serve/policy.hpp),
 //          reserve one KV position per active request in the paged pool,
-//          step every active request by one token in parallel on
-//          common::ThreadPool::global() (prompt tokens first — prefill —
+//          advance every active request by one token in ONE fused
+//          Decoder::step_batch forward — the active hidden states are
+//          stacked into an (active_batch x d_model) matrix, so each
+//          projection is a single batched GEMM (activations quantised
+//          once, rows tiled over common::ThreadPool::global()) while
+//          attention stays per sequence (prompt tokens first — prefill —
 //          then greedy decode), and
 //          price the tick by replaying its combined decode-step GEMM
 //          workload on the accelerator model plus the tick's KV-cache
 //          traffic on an hw::sram macro (when one is attached).
 //
 // A request's KV state lives in a run-scoped serve::PagedKVPool
-// (fixed-size token pages, refcounted, copy-on-write) and travels with the
-// request, not the slot — a finished request frees its slot for the next
+// (fixed-size token pages, refcounted, copy-on-write) and travels with
+// the request — a finished request frees its batch slot for the next
 // queued one immediately, mid-run. Under the prefix-aware policy,
 // requests with a common prompt prefix attach the same physical pages, so
 // the prefix is stored (and prefilled) once instead of once per request;
 // see docs/SERVING.md for the full design.
 //
-// Determinism: each request's math is computed on a slot-private backend
-// with double-accumulated GEMMs, so a K-request batched run produces
+// Determinism: every llm::matmul output row is an independent serial
+// double accumulation, so row r of the fused batched GEMM is bit-identical
+// to the same sequence stepped alone — a K-request batched run produces
 // bit-identical token streams to K serial single-request decodes at any
 // BBAL_THREADS and under any policy (tested in test_serve; gated by
 // BENCH_serve.json in CI).
@@ -64,12 +72,10 @@ namespace bbal::serve {
 class Engine {
  public:
   struct Options {
-    /// Concurrent execution slots (>= 1). Each slot pays one weight
-    /// preparation at engine construction and holds its own quantised
-    /// copy — deliberate: registry backends are single-session objects
-    /// with no thread-safety contract (see bbal/registry.hpp), so
-    /// slot-private backends are what lets ticks step all requests
-    /// concurrently without assuming anything about backend internals.
+    /// Concurrent in-flight requests per tick (>= 1). Purely an
+    /// admission cap: the engine holds one shared backend pair whose
+    /// weights are quantised once at construction, so raising max_batch
+    /// widens the fused per-tick GEMMs without adding weight copies.
     int max_batch = 4;
     /// Accelerator pricing each tick's workload; its strategy field is
     /// overwritten with the engine's matmul strategy (Session's rule).
@@ -138,22 +144,16 @@ class Engine {
   [[nodiscard]] const quant::StrategySpec& nonlinear_strategy() const {
     return nonlinear_;
   }
-  [[nodiscard]] int max_batch() const {
-    return static_cast<int>(slots_.size());
+  [[nodiscard]] int max_batch() const { return max_batch_; }
+  /// Bytes of quantised weight storage held by the shared backend —
+  /// independent of max_batch (weights are prepared exactly once).
+  [[nodiscard]] std::int64_t weights_bytes() const {
+    return model_->weights_bytes();
   }
   [[nodiscard]] bool has_accelerator() const { return accel_.has_value(); }
   [[nodiscard]] std::string_view policy() const { return policy_->name(); }
 
  private:
-  /// One execution slot: a slot-private backend pair (quantised weights
-  /// prepared once) and the decoder that steps requests through it.
-  struct Slot {
-    std::unique_ptr<llm::MatmulBackend> matmul;
-    std::unique_ptr<llm::NonlinearBackend> nonlinear;
-    std::unique_ptr<llm::Transformer> model;
-    std::unique_ptr<llm::Decoder> decoder;
-  };
-
   /// An admitted request mid-flight: its pool sequence and progress.
   /// Latency fields hold the global run clock (simulated makespan / wall
   /// time since run start) at the respective event, so TTFT and total
@@ -162,7 +162,6 @@ class Engine {
   /// prefix-hit request prefills only the unshared prompt tail.
   struct InFlight {
     std::size_t request_index = 0;  ///< into the run's requests/results
-    int slot = 0;
     PagedKVPool::SeqId seq = -1;
     PagedKVView view;
     int prompt_pos = 0;
@@ -183,7 +182,13 @@ class Engine {
   std::unique_ptr<SchedulerPolicy> policy_;
   int kv_page_tokens_ = 16;
   int kv_pool_pages_ = 0;
-  std::vector<Slot> slots_;
+  int max_batch_ = 0;
+  // The one shared pipeline: backends (weights quantised once), the model
+  // wired over them, and the batch-stepping decoder with its workspace.
+  std::unique_ptr<llm::MatmulBackend> matmul_backend_;
+  std::unique_ptr<llm::NonlinearBackend> nonlinear_backend_;
+  std::unique_ptr<llm::Transformer> model_;
+  std::unique_ptr<llm::Decoder> decoder_;
   std::deque<Request> queue_;
 };
 

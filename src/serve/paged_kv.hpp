@@ -20,18 +20,21 @@
 //    prefix_hit_rate and pool occupancy, and prices via hw::sram.
 //
 // Prefix sharing is bit-safe by construction: K/V rows are a deterministic
-// function of (model weights, strategy, token prefix), and the engine's
-// slots quantise identical weights identically, so a shared page holds
-// exactly the floats every sharer would have computed (test_paged_kv pins
-// decoder-through-pool against decoder-through-KVCache, float for float).
+// function of (model weights, strategy, token prefix), and every request
+// runs on the engine's one shared quantised backend, so a shared page
+// holds exactly the floats every sharer would have computed (test_paged_kv
+// pins decoder-through-pool against decoder-through-KVCache, float for
+// float).
 //
-// Threading contract (what lets Engine ticks step requests in parallel):
-// all *structural* mutation — create / fork / release / reserve_next /
-// register_prefix / probe — is serial-only (the engine does it between
-// ticks). During a parallel tick, each sequence is touched by exactly one
-// thread through its PagedKVView, and view append/read only writes that
-// sequence's reserved tail slot and its own length counter — disjoint
-// state, no locks needed.
+// Threading contract: all *structural* mutation — create / fork /
+// release / reserve_next / register_prefix / probe — is serial-only (the
+// engine does it between ticks). During a tick, the fused batch step
+// appends and reads through each sequence's PagedKVView from the calling
+// thread only (parallelism lives inside the batched GEMMs, which never
+// touch the pool); a view append only writes that sequence's reserved
+// tail slot and its own length counter — disjoint state, no locks
+// needed, and safe even if a caller steps distinct sequences from
+// distinct threads.
 #pragma once
 
 #include <cstdint>

@@ -77,6 +77,10 @@ struct Report {
   /// FNV-1a over (id, generated tokens) of completed requests: one exact
   /// CI field that pins every token of every stream.
   std::uint32_t stream_hash = 0;
+  /// Bytes of quantised weight storage held by the engine's one shared
+  /// backend. Deterministic, and independent of max_batch — the fused
+  /// datapath prepares weights exactly once per engine, not per slot.
+  std::int64_t weights_bytes = 0;
 
   // Paged KV-cache metrics (serve::PagedKVPool). Deterministic: page
   // traffic is a pure function of the request mix and the policy.

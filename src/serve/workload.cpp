@@ -57,6 +57,21 @@ std::vector<Request> shared_prefix_requests(const llm::ModelConfig& config,
   return requests;
 }
 
+std::vector<int> reference_decode(llm::Decoder& decoder,
+                                  const Request& request) {
+  llm::KVCache cache = decoder.make_cache();
+  std::vector<float> logits;
+  for (const int token : request.prompt) logits = decoder.step(token, cache);
+  std::vector<int> generated;
+  while (static_cast<int>(generated.size()) < request.max_new_tokens) {
+    const int best = greedy_argmax(logits);
+    generated.push_back(best);
+    if (static_cast<int>(generated.size()) == request.max_new_tokens) break;
+    logits = decoder.step(best, cache);
+  }
+  return generated;
+}
+
 std::vector<int> reference_decode(const llm::PreparedModel& prepared,
                                   const quant::StrategySpec& matmul,
                                   const Request& request) {
@@ -66,17 +81,7 @@ std::vector<int> reference_decode(const llm::PreparedModel& prepared,
   llm::Transformer model(prepared.config, prepared.weights, *mm, nl);
   model.set_logit_scale(prepared.logit_scale);
   llm::Decoder decoder(model);
-
-  std::vector<float> logits;
-  for (const int token : request.prompt) logits = decoder.step(token);
-  std::vector<int> generated;
-  while (static_cast<int>(generated.size()) < request.max_new_tokens) {
-    const int best = greedy_argmax(logits);
-    generated.push_back(best);
-    if (static_cast<int>(generated.size()) == request.max_new_tokens) break;
-    logits = decoder.step(best);
-  }
-  return generated;
+  return reference_decode(decoder, request);
 }
 
 }  // namespace bbal::serve

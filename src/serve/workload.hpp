@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "llm/decoder.hpp"
 #include "llm/perplexity.hpp"
 #include "quant/strategy.hpp"
 #include "serve/request.hpp"
@@ -51,5 +52,12 @@ namespace bbal::serve {
 [[nodiscard]] std::vector<int> reference_decode(
     const llm::PreparedModel& prepared, const quant::StrategySpec& matmul,
     const Request& request);
+
+/// Same decode protocol over a caller-prepared decoder (fresh external
+/// cache per call) — the variant timed comparisons use so weight
+/// preparation stays out of the measured loop. The emission rule lives
+/// here once: prompt prefill, then greedy argmax until the budget.
+[[nodiscard]] std::vector<int> reference_decode(llm::Decoder& decoder,
+                                                const Request& request);
 
 }  // namespace bbal::serve

@@ -1,13 +1,20 @@
 // llm::Decoder: reset() really clears the attention state, stepping after
-// a reset is bit-identical to a fresh decoder, and the engine-owned
-// KVCache path (step(token, cache)) reproduces the owned-cache path — the
-// contract the serving engine's slot reuse rests on.
+// a reset is bit-identical to a fresh decoder, the engine-owned KVCache
+// path (step(token, cache)) reproduces the owned-cache path, and the
+// fused batch path (step_batch) is bit-identical to independent step()
+// calls — across quantised strategies, thread counts, ragged batches and
+// mid-run retirement/back-fill: the contract the serving engine's single
+// shared pipeline rests on.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "bbal/registry.hpp"
+#include "common/threadpool.hpp"
 #include "llm/decoder.hpp"
 #include "llm/model.hpp"
+#include "quant/strategy.hpp"
 
 namespace bbal::llm {
 namespace {
@@ -105,6 +112,133 @@ TEST(Decoder, OneDecoderServesInterleavedCaches) {
     EXPECT_EQ(shared.step(seq_a[i], cache_a), expect_a[i]);
     EXPECT_EQ(shared.step(seq_b[i], cache_b), expect_b[i]);
   }
+}
+
+// --- Fused batch path --------------------------------------------------------
+
+/// Drive step_batch like a mini serving engine over predetermined ragged
+/// token sequences — staggered lengths, one sequence retiring mid-run and
+/// another back-filling its row — and require every row's logits to be
+/// bit-identical to stepping that sequence alone through step(token,
+/// cache) on the same backend. Exercised per strategy and thread count.
+/// Pins the global thread count for one scope and restores it even when
+/// a gtest ASSERT returns out of the helper early.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(int threads) {
+    common::ThreadPool::set_global_threads(threads);
+  }
+  ~ThreadCountGuard() {
+    common::ThreadPool::set_global_threads(common::ThreadPool::env_threads());
+  }
+};
+
+void expect_step_batch_matches_steps(const std::string& strategy,
+                                     int threads) {
+  const ThreadCountGuard guard(threads);
+  const ModelConfig config = tiny_config();
+  const TransformerWeights weights = generate_weights(config);
+  auto mm = bbal::BackendRegistry::instance()
+                .make_matmul(quant::spec_of(strategy))
+                .expect("matmul backend");
+  Fp32NonlinearBackend nl;
+  Transformer model(config, weights, *mm, nl);
+  Decoder fused(model);
+  Decoder reference(model);
+
+  // Ragged sequences; D enters only after B retires (back-fill).
+  const std::vector<std::vector<int>> seqs = {
+      {3, 17, 42, 9, 9, 60, 1},    // A: longest, active throughout
+      {5, 4, 3},                   // B: retires after 3 ticks
+      {33, 2, 44, 21, 8},          // C
+      {11, 12, 13, 14, 15, 16}};   // D: back-fills B's row
+  std::vector<KVCache> caches;
+  std::vector<KVCache> ref_caches;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    caches.push_back(fused.make_cache());
+    ref_caches.push_back(reference.make_cache());
+  }
+  std::vector<std::size_t> progress(seqs.size(), 0);
+
+  Matrix logits;
+  for (int tick = 0;; ++tick) {
+    // Active set: every sequence with tokens left, except D before B is
+    // done (mixed prefill depths: A is deep into its stream while a
+    // back-filled D starts from an empty cache mid-run).
+    std::vector<std::size_t> active;
+    for (std::size_t s = 0; s < seqs.size(); ++s) {
+      if (progress[s] >= seqs[s].size()) continue;
+      if (s == 3 && progress[1] < seqs[1].size()) continue;
+      active.push_back(s);
+    }
+    if (active.empty()) break;
+
+    std::vector<int> tokens;
+    std::vector<KVCacheRef> refs;
+    refs.reserve(active.size());
+    std::vector<KVCacheView*> views;
+    for (const std::size_t s : active) {
+      tokens.push_back(seqs[s][progress[s]]);
+      refs.emplace_back(caches[s]);
+    }
+    for (KVCacheRef& ref : refs) views.push_back(&ref);
+    fused.step_batch(tokens, views, logits);
+    ASSERT_EQ(logits.rows(), static_cast<int>(active.size()));
+    ASSERT_EQ(logits.cols(), config.vocab);
+
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const std::size_t s = active[i];
+      const std::vector<float> expected =
+          reference.step(seqs[s][progress[s]], ref_caches[s]);
+      const std::span<const float> row = logits.row(static_cast<int>(i));
+      ASSERT_EQ(std::vector<float>(row.begin(), row.end()), expected)
+          << strategy << " seq " << s << " tick " << tick << " at "
+          << threads << " threads";
+      ++progress[s];
+    }
+  }
+  for (std::size_t s = 0; s < seqs.size(); ++s)
+    EXPECT_EQ(caches[s].length(), static_cast<int>(seqs[s].size()));
+}
+
+const std::vector<std::string> kBatchStrategies = {"FP32", "INT8", "BFP4",
+                                                   "BBFP(4,2)"};
+
+TEST(DecoderBatch, MatchesIndependentStepsSingleThread) {
+  for (const std::string& strategy : kBatchStrategies)
+    expect_step_batch_matches_steps(strategy, 1);
+}
+
+TEST(DecoderBatch, MatchesIndependentStepsFourThreads) {
+  for (const std::string& strategy : kBatchStrategies)
+    expect_step_batch_matches_steps(strategy, 4);
+}
+
+TEST(DecoderBatch, EmptyBatchIsANoOp) {
+  Fixture f;
+  Transformer model(f.config, f.weights, f.mm, f.nl);
+  Decoder decoder(model);
+  Matrix logits;
+  decoder.step_batch({}, {}, logits);
+  EXPECT_EQ(logits.rows(), 0);
+  EXPECT_EQ(logits.cols(), f.config.vocab);
+}
+
+TEST(DecoderBatch, ReusesCallerLogitsStorage) {
+  // The logits matrix keeps its allocation across same-shaped calls — the
+  // zero-allocation contract the engine's tick loop relies on.
+  Fixture f;
+  Transformer model(f.config, f.weights, f.mm, f.nl);
+  Decoder decoder(model);
+  KVCache a = decoder.make_cache();
+  KVCache b = decoder.make_cache();
+  Matrix logits;
+  KVCacheRef ra(a), rb(b);
+  std::vector<KVCacheView*> views = {&ra, &rb};
+  const std::vector<int> tokens = {4, 7};
+  decoder.step_batch(tokens, views, logits);
+  const float* data = logits.flat().data();
+  decoder.step_batch(tokens, views, logits);
+  EXPECT_EQ(logits.flat().data(), data);
 }
 
 }  // namespace

@@ -344,6 +344,30 @@ TEST(ServePolicy, PrefixAwareSharesPagesAndKeepsStreamsIdentical) {
             aware_report.kv_bytes_peak_contiguous);
 }
 
+TEST(ServeEngine, WeightsAreHeldOnceRegardlessOfBatchWidth) {
+  // The fused datapath shares one backend across every batch slot, so the
+  // quantised weight footprint must not scale with max_batch — and the
+  // token streams must stay identical while it shrinks.
+  const std::vector<serve::Request> requests =
+      serve::synthetic_requests(tiny_model()->config, 6, 5, 6);
+  serve::Engine narrow = make_engine("BBFP(4,2)", /*max_batch=*/1);
+  serve::Engine wide = make_engine("BBFP(4,2)", /*max_batch=*/4);
+  EXPECT_GT(narrow.weights_bytes(), 0);
+  EXPECT_EQ(narrow.weights_bytes(), wide.weights_bytes());
+
+  for (const serve::Request& req : requests) {
+    narrow.submit(req);
+    wide.submit(req);
+  }
+  const serve::Report narrow_report = narrow.run();
+  const serve::Report wide_report = wide.run();
+  EXPECT_EQ(narrow_report.stream_hash, wide_report.stream_hash);
+  EXPECT_EQ(narrow_report.weights_bytes, wide_report.weights_bytes);
+  EXPECT_EQ(wide_report.weights_bytes, wide.weights_bytes());
+  EXPECT_NE(wide_report.to_json().find("\"weights_bytes\""),
+            std::string::npos);
+}
+
 TEST(ServeEngine, UndersizedPoolDegradesToErrorResults) {
   // 2 pages of 16 tokens: request 0 (4 + 4 - 1 positions) fits, request 1
   // (40 prompt tokens -> 3+ pages) can never fit and must surface as an

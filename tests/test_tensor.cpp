@@ -20,6 +20,58 @@ TEST(Matrix, BasicIndexing) {
   EXPECT_FLOAT_EQ(m.row(1)[2], 5.0f);
 }
 
+TEST(Matrix, ResizeKeepsCapacityAndShape) {
+  Matrix m(4, 8);
+  for (std::size_t i = 0; i < m.flat().size(); ++i)
+    m.flat()[i] = static_cast<float>(i);
+  const float* data = m.flat().data();
+
+  m.resize(4, 8);  // same shape: no-op, contents untouched
+  EXPECT_EQ(m.flat().data(), data);
+  EXPECT_FLOAT_EQ(m.at(3, 7), 31.0f);
+
+  m.resize(2, 8);  // shrink: shape changes, storage stays put
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 8);
+  EXPECT_EQ(m.flat().data(), data);
+
+  m.resize(4, 8);  // grow back within capacity: still no reallocation
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.flat().data(), data);
+}
+
+TEST(Matmul, ReusesOutputStorageAcrossShapes) {
+  Rng rng(6);
+  Matrix a(5, 11), b(11, 7);
+  for (float& v : a.flat()) v = static_cast<float>(rng.gaussian());
+  for (float& v : b.flat()) v = static_cast<float>(rng.gaussian());
+
+  // Warm the output with a larger product, then reuse it for a smaller
+  // one: the result must match a fresh computation exactly and keep the
+  // same storage (the zero-allocation decode-loop contract).
+  Matrix c;
+  matmul(a, b, c);
+  const Matrix fresh = matmul(a, b);
+  const float* data = c.flat().data();
+
+  Matrix a2(2, 11);
+  for (float& v : a2.flat()) v = static_cast<float>(rng.gaussian());
+  matmul(a2, b, c);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 7);
+  EXPECT_EQ(c.flat().data(), data);
+  const Matrix fresh2 = matmul(a2, b);
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 7; ++j)
+      EXPECT_FLOAT_EQ(c.at(i, j), fresh2.at(i, j)) << i << "," << j;
+
+  matmul(a, b, c);  // grow back into retained capacity
+  EXPECT_EQ(c.flat().data(), data);
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 7; ++j)
+      EXPECT_FLOAT_EQ(c.at(i, j), fresh.at(i, j)) << i << "," << j;
+}
+
 TEST(Matmul, HandComputed) {
   Matrix a(2, 2), b(2, 2);
   a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;

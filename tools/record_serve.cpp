@@ -5,6 +5,9 @@
 // hash must stay bit-identical at any thread count (the engine's
 // determinism contract); simulated seconds/throughput get the rate
 // tolerance. Host wall-clock stays in "meta" (informational, never gated).
+// Each row also records weights_bytes — the quantised weight footprint of
+// the engine's one shared backend, exact-gated and independent of
+// max_batch (the fused datapath prepares weights once per engine).
 //
 // Output shape: {"meta": {...}, "rows": [...one object per strategy...]},
 // the same contract as tools/record_table2.
@@ -153,9 +156,11 @@ int main(int argc, char** argv) {
                    static_cast<long long>(report.requests));
       return 1;
     }
-    std::fprintf(stderr, "  %s: %lld tokens, hash %u\n", strategy.c_str(),
+    std::fprintf(stderr, "  %s: %lld tokens, hash %u, weights %lld B\n",
+                 strategy.c_str(),
                  static_cast<long long>(report.generated_tokens),
-                 report.stream_hash);
+                 report.stream_hash,
+                 static_cast<long long>(report.weights_bytes));
     rows.push_back(report.to_json());
   }
   const double wall_seconds =
