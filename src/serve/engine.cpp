@@ -84,6 +84,19 @@ Result<Engine> Engine::create(
     engine.accel_->strategy = matmul.to_string();
   }
 
+  // An SLO is judged on simulated time, so it needs the accelerator that
+  // prices it — rejecting the combination here keeps run() branch-free.
+  if (options.slo) {
+    if (!engine.accel_)
+      return R::error(
+          "slo: goodput needs priced time; attach an accelerator or drop "
+          "the SLO");
+    if (options.slo->ttft_seconds <= 0.0 ||
+        options.slo->inter_token_seconds <= 0.0)
+      return R::error("slo: thresholds must be > 0");
+    engine.slo_ = *options.slo;
+  }
+
   // Build the one shared pipeline: the weights are prepared (quantised)
   // exactly once here, regardless of max_batch — every request's row runs
   // through this backend pair via the fused Decoder::step_batch.
@@ -139,6 +152,11 @@ Report Engine::run() {
   report.policy = std::string(policy_->name());
   report.max_batch = max_batch();
   report.has_cost = accel_.has_value();
+  report.has_slo = slo_.has_value();
+  if (slo_) {
+    report.slo_ttft_seconds = slo_->ttft_seconds;
+    report.slo_inter_token_seconds = slo_->inter_token_seconds;
+  }
   report.weights_bytes = weights_bytes();
 
   std::vector<Request> requests(std::make_move_iterator(queue_.begin()),
@@ -148,13 +166,18 @@ Report Engine::run() {
   report.results.resize(requests.size());
 
   // Validate up front; malformed requests become error results and are
-  // never admitted (the batch must survive a bad client).
+  // never admitted (the batch must survive a bad client). Valid requests
+  // go to the arrival queue — ordered by (arrival_tick, submit order), so
+  // closed-loop traffic (every arrival_tick 0) reaches `waiting` in
+  // submit order exactly as before open-loop time existed.
   std::deque<std::size_t> waiting;
+  std::vector<std::size_t> arrivals;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Request& req = requests[i];
     RequestResult& out = report.results[i];
     out.id = i;
     out.prompt_tokens = static_cast<int>(req.prompt.size());
+    out.arrival_tick = req.arrival_tick;
     if (req.prompt.empty()) {
       out.error = "empty prompt";
       continue;
@@ -162,6 +185,11 @@ Report Engine::run() {
     if (req.max_new_tokens <= 0) {
       out.error = "max_new_tokens must be > 0, got " +
                   std::to_string(req.max_new_tokens);
+      continue;
+    }
+    if (req.arrival_tick < 0) {
+      out.error = "arrival_tick must be >= 0, got " +
+                  std::to_string(req.arrival_tick);
       continue;
     }
     const auto bad =
@@ -172,8 +200,13 @@ Report Engine::run() {
                   " outside vocabulary [0, " + std::to_string(cfg.vocab) + ")";
       continue;
     }
-    waiting.push_back(i);
+    arrivals.push_back(i);
   }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return requests[a].arrival_tick <
+                            requests[b].arrival_tick;
+                   });
 
   // --- KV pool: run-scoped, fresh per run (deterministic page ids) ---
   // A request that runs to its budget appends prompt + max_new - 1
@@ -189,7 +222,7 @@ Report Engine::run() {
     // Auto-size: every valid request resident at once (payloads allocate
     // lazily, so headroom costs page-table slots, not memory).
     std::int64_t pages = 0;
-    for (const std::size_t i : waiting)
+    for (const std::size_t i : arrivals)
       pages += (total_positions(requests[i]) + kv_page_tokens_ - 1) /
                kv_page_tokens_;
     kv_options.max_pages = static_cast<int>(std::max<std::int64_t>(pages, 1));
@@ -232,7 +265,8 @@ Report Engine::run() {
   std::vector<int> tick_tokens;
   std::vector<llm::KVCacheView*> tick_views;
   llm::Matrix tick_logits;
-  std::vector<double> token_latencies;  ///< simulated, per emitted token
+  std::vector<double> token_latencies;   ///< simulated, per emitted token
+  std::vector<double> inter_token_gaps;  ///< gaps between a request's tokens
   accel::EnergyBreakdown energy;
   double kv_energy_j = 0.0;
   double sim_makespan = 0.0;  ///< sum of per-tick simulated latencies
@@ -240,8 +274,36 @@ Report Engine::run() {
   std::int64_t kv_pages_sum = 0;          ///< pages in use, summed per tick
   std::int64_t contiguous_peak_tokens = 0;  ///< monolithic-cache comparison
 
+  // --- Open-loop clock ---
+  // One executed decode tick advances the clock by one; an engine with
+  // nothing runnable jumps straight to the next arrival (idle ticks run
+  // no step and cost no simulated time). Arrival instants are stamped on
+  // both clocks when a request becomes visible, so TTFT/total latency
+  // stay arrival-relative — the client-visible metrics.
+  std::int64_t clock = 0;
+  std::size_t next_arrival = 0;
+  std::vector<double> arrival_seconds(requests.size(), 0.0);
+  std::vector<double> arrival_wall(requests.size(), 0.0);
+
   const auto run_start = std::chrono::steady_clock::now();
-  while (!waiting.empty() || !active.empty()) {
+  const auto deliver_arrivals = [&] {
+    while (next_arrival < arrivals.size() &&
+           requests[arrivals[next_arrival]].arrival_tick <= clock) {
+      const std::size_t index = arrivals[next_arrival];
+      arrival_seconds[index] = sim_makespan;
+      arrival_wall[index] = seconds_since(run_start);
+      waiting.push_back(index);
+      ++next_arrival;
+    }
+  };
+  while (next_arrival < arrivals.size() || !waiting.empty() ||
+         !active.empty()) {
+    deliver_arrivals();
+    if (waiting.empty() && active.empty()) {
+      // Idle: everything left is in the future. Jump, don't spin.
+      clock = requests[arrivals[next_arrival]].arrival_tick;
+      continue;
+    }
     // --- Admission: the policy picks, the page budget gates ---
     while (!waiting.empty() && free_slots > 0) {
       std::vector<std::size_t> prefilling;
@@ -279,10 +341,13 @@ Report Engine::run() {
       flight.view = PagedKVView(kv, flight.seq);
       flight.prompt_pos = kv.shared_length(flight.seq);
       report.results[index].shared_prompt_tokens = flight.prompt_pos;
+      report.results[index].admit_tick = clock;
+      report.results[index].queue_ticks = clock - req.arrival_tick;
       active.push_back(std::move(flight));
     }
-    // Every admission failed (undersized pool): no phantom empty tick.
-    if (active.empty()) break;
+    // Every admission failed (undersized pool): no phantom empty tick —
+    // but later arrivals may still be coming, so re-enter the loop.
+    if (active.empty()) continue;
     ++report.engine_steps;
     occupancy_sum += static_cast<std::int64_t>(active.size());
 
@@ -393,9 +458,16 @@ Report Engine::run() {
       if (emitted) {
         token_latencies.push_back(tick_seconds);
         if (out.generated.size() == 1) {
-          flight.ttft_seconds = sim_makespan;
-          flight.ttft_wall_seconds = wall_now;
+          flight.ttft_seconds =
+              sim_makespan - arrival_seconds[flight.request_index];
+          flight.ttft_wall_seconds =
+              wall_now - arrival_wall[flight.request_index];
+        } else {
+          const double gap = sim_makespan - flight.last_emit_seconds;
+          inter_token_gaps.push_back(gap);
+          flight.max_gap_seconds = std::max(flight.max_gap_seconds, gap);
         }
+        flight.last_emit_seconds = sim_makespan;
         // The prefill just completed: its full prompt pages become
         // shareable for every follower with the same prefix.
         if (sharing && !flight.registered) {
@@ -413,8 +485,12 @@ Report Engine::run() {
       out.steps = flight.steps;
       out.ttft_seconds = flight.ttft_seconds;
       out.ttft_wall_seconds = flight.ttft_wall_seconds;
-      out.total_seconds = sim_makespan;
-      out.wall_seconds = wall_now;
+      out.total_seconds = sim_makespan - arrival_seconds[flight.request_index];
+      out.wall_seconds = wall_now - arrival_wall[flight.request_index];
+      out.max_inter_token_seconds = flight.max_gap_seconds;
+      if (slo_)
+        out.slo_ok = out.ttft_seconds <= slo_->ttft_seconds &&
+                     flight.max_gap_seconds <= slo_->inter_token_seconds;
       if (report.has_cost && out.total_seconds > 0.0)
         out.tokens_per_second =
             static_cast<double>(out.generated.size()) / out.total_seconds;
@@ -422,8 +498,10 @@ Report Engine::run() {
       ++free_slots;
       return true;
     });
+    ++clock;
   }
   report.wall_seconds = seconds_since(run_start);
+  report.clock_ticks = clock;
 
   // --- Paged-KV aggregates ---
   report.kv_pages_allocated = kv.stats().pages_allocated;
@@ -439,6 +517,9 @@ Report Engine::run() {
 
   // --- Aggregates (completed requests only) ---
   double ttft_sum = 0.0;
+  double queue_sum = 0.0;
+  std::vector<double> queue_delays;
+  std::vector<double> ttfts;
   std::uint32_t hash = 2166136261u;
   for (const RequestResult& out : report.results) {
     if (!out.ok) continue;
@@ -446,11 +527,39 @@ Report Engine::run() {
     report.prompt_tokens += out.prompt_tokens;
     report.generated_tokens += static_cast<std::int64_t>(out.generated.size());
     ttft_sum += out.ttft_seconds;
+    ttfts.push_back(out.ttft_seconds);
+    queue_sum += static_cast<double>(out.queue_ticks);
+    queue_delays.push_back(static_cast<double>(out.queue_ticks));
+    if (out.slo_ok) ++report.slo_met;
     fnv32_mix(hash, static_cast<std::uint32_t>(out.id));
     for (const int token : out.generated)
       fnv32_mix(hash, static_cast<std::uint32_t>(token));
   }
   report.stream_hash = hash;
+
+  // --- Open-loop load metrics ---
+  if (report.completed > 0)
+    report.queue_delay_mean_ticks =
+        queue_sum / static_cast<double>(report.completed);
+  report.queue_delay_p99_ticks = percentile(queue_delays, 99.0);
+  if (!arrivals.empty()) {
+    std::int64_t demanded_tokens = 0;
+    std::int64_t last_arrival = 0;
+    for (const std::size_t i : arrivals) {
+      demanded_tokens += requests[i].max_new_tokens;
+      last_arrival = std::max(last_arrival, requests[i].arrival_tick);
+    }
+    report.offered_tokens_per_tick =
+        static_cast<double>(demanded_tokens) /
+        static_cast<double>(last_arrival + 1);
+  }
+  if (report.clock_ticks > 0)
+    report.throughput_tokens_per_tick =
+        static_cast<double>(report.generated_tokens) /
+        static_cast<double>(report.clock_ticks);
+  if (report.has_slo && report.requests > 0)
+    report.goodput_under_slo = static_cast<double>(report.slo_met) /
+                               static_cast<double>(report.requests);
   if (report.engine_steps > 0)
     report.mean_batch_occupancy = static_cast<double>(occupancy_sum) /
                                   static_cast<double>(report.engine_steps);
@@ -466,6 +575,10 @@ Report Engine::run() {
   report.p50_step_seconds = percentile(token_latencies, 50.0);
   report.p95_step_seconds = percentile(token_latencies, 95.0);
   report.p99_step_seconds = percentile(token_latencies, 99.0);
+  report.p99_ttft_seconds = percentile(ttfts, 99.0);
+  report.p50_inter_token_seconds = percentile(inter_token_gaps, 50.0);
+  report.p95_inter_token_seconds = percentile(inter_token_gaps, 95.0);
+  report.p99_inter_token_seconds = percentile(inter_token_gaps, 99.0);
   return report;
 }
 
@@ -492,13 +605,19 @@ std::string Report::to_json() const {
   os << "{\"model\": \"" << model << "\", \"matmul\": \"" << matmul
      << "\", \"nonlinear\": \"" << nonlinear << "\", \"policy\": \""
      << policy << "\"";
+  if (!workload.empty()) os << ", \"workload\": \"" << workload << "\"";
   append_json_int(os, "requests", requests);
   append_json_int(os, "completed", completed);
   append_json_int(os, "max_batch", max_batch);
   append_json_int(os, "prompt_tokens", prompt_tokens);
   append_json_int(os, "generated_tokens", generated_tokens);
   append_json_int(os, "engine_steps", engine_steps);
+  append_json_int(os, "clock_ticks", clock_ticks);
   append_json(os, "mean_batch_occupancy", mean_batch_occupancy);
+  append_json(os, "queue_delay_mean_ticks", queue_delay_mean_ticks);
+  append_json(os, "queue_delay_p99_ticks", queue_delay_p99_ticks);
+  append_json(os, "offered_tokens_per_tick", offered_tokens_per_tick);
+  append_json(os, "throughput_tokens_per_tick", throughput_tokens_per_tick);
   append_json_int(os, "stream_hash", static_cast<std::int64_t>(stream_hash));
   append_json_int(os, "weights_bytes", weights_bytes);
   append_json_int(os, "kv_pages_allocated", kv_pages_allocated);
@@ -515,8 +634,18 @@ std::string Report::to_json() const {
     append_json(os, "p50_step_seconds", p50_step_seconds);
     append_json(os, "p95_step_seconds", p95_step_seconds);
     append_json(os, "p99_step_seconds", p99_step_seconds);
+    append_json(os, "p99_ttft_seconds", p99_ttft_seconds);
+    append_json(os, "p50_inter_token_seconds", p50_inter_token_seconds);
+    append_json(os, "p95_inter_token_seconds", p95_inter_token_seconds);
+    append_json(os, "p99_inter_token_seconds", p99_inter_token_seconds);
     append_json(os, "energy_j", energy_j);
     append_json(os, "kv_energy_j", kv_energy_j);
+  }
+  if (has_slo) {
+    append_json(os, "slo_ttft_seconds", slo_ttft_seconds);
+    append_json(os, "slo_inter_token_seconds", slo_inter_token_seconds);
+    append_json_int(os, "slo_met", slo_met);
+    append_json(os, "goodput_under_slo", goodput_under_slo);
   }
   os << "}";
   return os.str();

@@ -26,6 +26,16 @@
 //          workload on the accelerator model plus the tick's KV-cache
 //          traffic on an hw::sram macro (when one is attached).
 //
+// Time is the engine's own simulated tick (one fused decode step = one
+// tick). A submitted request carrying an open-loop arrival_tick (see
+// serve::load) is invisible to the scheduler before its arrival: run()
+// delivers arrivals at the top of every tick, and an engine with nothing
+// active jumps its clock straight to the next arrival (idle ticks execute
+// no step and cost no simulated time). Closed-loop traffic is the
+// arrival_tick == 0 special case and is byte-exact with the pre-open-loop
+// engine. Per-request queueing delay (queue_ticks), inter-token gaps and
+// goodput against an optional serve::Slo land in the report.
+//
 // A request's KV state lives in a run-scoped serve::PagedKVPool
 // (fixed-size token pages, refcounted, copy-on-write) and travels with
 // the request — a finished request frees its batch slot for the next
@@ -63,6 +73,7 @@
 #include "accel/config.hpp"
 #include "bbal/session.hpp"
 #include "llm/decoder.hpp"
+#include "serve/load.hpp"
 #include "serve/paged_kv.hpp"
 #include "serve/policy.hpp"
 #include "serve/request.hpp"
@@ -93,6 +104,12 @@ class Engine {
     /// starve: a request that cannot fit even alone is reported as an
     /// error result, and tighter mixes admit more slowly.
     int kv_pool_pages = 0;
+    /// Service-level objective evaluated per completed request (TTFT and
+    /// max inter-token gap on the simulated clock; see serve::Slo).
+    /// Requires an accelerator — without priced time there is nothing to
+    /// hold the SLO against, so create() rejects the combination. The
+    /// report then carries goodput_under_slo and per-request slo_ok.
+    std::optional<Slo> slo;
   };
 
   /// Build an engine over a prepared model and a strategy pair. All
@@ -170,6 +187,9 @@ class Engine {
     bool failed = false;      ///< KV reservation failed; retire with error
     double ttft_seconds = 0.0;
     double ttft_wall_seconds = 0.0;
+    /// Simulated clock at the previous token emission (inter-token gaps).
+    double last_emit_seconds = 0.0;
+    double max_gap_seconds = 0.0;  ///< largest inter-token gap so far
     int steps = 0;
   };
 
@@ -179,6 +199,7 @@ class Engine {
   quant::StrategySpec matmul_;
   quant::StrategySpec nonlinear_;
   std::optional<accel::AcceleratorConfig> accel_;
+  std::optional<Slo> slo_;
   std::unique_ptr<SchedulerPolicy> policy_;
   int kv_page_tokens_ = 16;
   int kv_pool_pages_ = 0;

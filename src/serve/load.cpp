@@ -1,0 +1,119 @@
+#include "serve/load.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace bbal::serve {
+namespace {
+
+/// Exponential draw of the given mean via inversion — one uniform per
+/// draw, so a process consumes a fixed, documented number of stream
+/// values per event (part of the bit-replay contract).
+double exponential(Rng& rng, double mean) {
+  return -std::log(1.0 - rng.uniform()) * mean;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> uniform_arrivals(int count, double rate,
+                                           std::int64_t start_tick) {
+  assert(rate > 0.0);
+  std::vector<std::int64_t> ticks;
+  ticks.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i)
+    ticks.push_back(start_tick +
+                    static_cast<std::int64_t>(
+                        std::floor(static_cast<double>(i) / rate)));
+  return ticks;
+}
+
+std::vector<std::int64_t> poisson_arrivals(int count, double rate,
+                                           std::uint64_t seed,
+                                           std::int64_t start_tick) {
+  assert(rate > 0.0);
+  Rng rng(seed);
+  std::vector<std::int64_t> ticks;
+  ticks.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += exponential(rng, 1.0 / rate);
+    ticks.push_back(start_tick + static_cast<std::int64_t>(std::floor(t)));
+  }
+  return ticks;
+}
+
+std::vector<std::int64_t> bursty_arrivals(int count, double rate,
+                                          std::uint64_t seed,
+                                          const BurstyOptions& options) {
+  assert(rate > 0.0);
+  assert(options.burst_factor > 0.0 && options.idle_factor > 0.0);
+  assert(options.mean_on_ticks > 0.0 && options.mean_off_ticks > 0.0);
+  Rng rng(seed);
+  std::vector<std::int64_t> ticks;
+  ticks.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  // Standard MMPP simulation: within a state, gaps are exponential at
+  // the state's rate; a gap that crosses the state boundary is discarded
+  // and redrawn from the boundary at the new state's rate (memorylessness
+  // makes the restart exact, not an approximation).
+  bool on = true;
+  double t = 0.0;
+  double state_end = exponential(rng, options.mean_on_ticks);
+  while (static_cast<int>(ticks.size()) < count) {
+    const double state_rate =
+        rate * (on ? options.burst_factor : options.idle_factor);
+    const double gap = exponential(rng, 1.0 / state_rate);
+    if (t + gap >= state_end) {
+      t = state_end;
+      on = !on;
+      state_end += exponential(
+          rng, on ? options.mean_on_ticks : options.mean_off_ticks);
+      continue;
+    }
+    t += gap;
+    ticks.push_back(static_cast<std::int64_t>(std::floor(t)));
+  }
+  return ticks;
+}
+
+std::vector<std::int64_t> generate_arrivals(const ArrivalSpec& spec,
+                                            int count) {
+  switch (spec.kind) {
+    case ArrivalSpec::Kind::kUniform:
+      return uniform_arrivals(count, spec.rate);
+    case ArrivalSpec::Kind::kPoisson:
+      return poisson_arrivals(count, spec.rate, spec.seed);
+    case ArrivalSpec::Kind::kBursty:
+      return bursty_arrivals(count, spec.rate, spec.seed, spec.bursty);
+  }
+  return {};
+}
+
+std::string describe_arrivals(const ArrivalSpec& spec) {
+  std::ostringstream os;
+  os.precision(6);
+  switch (spec.kind) {
+    case ArrivalSpec::Kind::kUniform:
+      os << "uniform(rate=" << spec.rate << ")";
+      return os.str();
+    case ArrivalSpec::Kind::kPoisson:
+      os << "poisson(rate=" << spec.rate << ",seed=" << spec.seed << ")";
+      return os.str();
+    case ArrivalSpec::Kind::kBursty:
+      os << "bursty(rate=" << spec.rate << ",x" << spec.bursty.burst_factor
+         << "/x" << spec.bursty.idle_factor << ",seed=" << spec.seed << ")";
+      return os.str();
+  }
+  return "unknown";
+}
+
+void stamp_arrivals(std::vector<Request>& requests,
+                    std::span<const std::int64_t> ticks) {
+  const std::size_t n = std::min(requests.size(), ticks.size());
+  for (std::size_t i = 0; i < n; ++i) requests[i].arrival_tick = ticks[i];
+}
+
+}  // namespace bbal::serve

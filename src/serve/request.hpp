@@ -18,12 +18,20 @@
 
 namespace bbal::serve {
 
-/// One generation request: a prompt and a completion budget. Sampling is
-/// greedy (argmax, lowest index wins ties), so a request's continuation is
-/// a pure function of (model, strategy, prompt).
+/// One generation request: a prompt, a completion budget and an
+/// open-loop arrival time. Sampling is greedy (argmax, lowest index wins
+/// ties), so a request's continuation is a pure function of
+/// (model, strategy, prompt).
 struct Request {
   std::vector<int> prompt;  ///< token ids in [0, vocab)
   int max_new_tokens = 16;  ///< completion budget (> 0)
+  /// Engine tick (one fused decode step = one tick) at which the request
+  /// becomes visible to the scheduler: the engine never admits it
+  /// earlier, however idle. 0 — the default — is the closed-loop case
+  /// (present at run start), which keeps every pre-open-loop workload
+  /// byte-exact. Stamped by serve::load's arrival generators; negative
+  /// values are reported as error results.
+  std::int64_t arrival_tick = 0;
 };
 
 /// Per-request outcome. Timing fields are populated when the engine has an
@@ -40,8 +48,24 @@ struct RequestResult {
   int shared_prompt_tokens = 0;
   int steps = 0;  ///< engine ticks this request was active for
 
-  /// Simulated time from arrival (run start) until the first generated
-  /// token — queueing delay included, the client-visible TTFT.
+  // Open-loop queueing (exact, clock-independent). For closed-loop
+  // requests arrival_tick is 0 and queue_ticks counts slot contention
+  // alone — admission waiting was always part of TTFT, it now has its
+  // own name.
+  std::int64_t arrival_tick = 0;  ///< as submitted
+  std::int64_t admit_tick = 0;    ///< engine clock when a slot was granted
+  std::int64_t queue_ticks = 0;   ///< admit_tick - arrival_tick
+  /// Largest simulated gap between consecutive generated tokens — the
+  /// stall a streaming client would notice (0 until the second token).
+  double max_inter_token_seconds = 0.0;
+  /// Completed within the run's SLO (always false unless an Slo was
+  /// configured and the engine prices time, i.e. report.has_slo).
+  bool slo_ok = false;
+
+  /// Simulated time from arrival until the first generated token —
+  /// queueing delay included, the client-visible TTFT. For an open-loop
+  /// request the arrival instant is the simulated time at which its
+  /// arrival_tick began.
   double ttft_seconds = 0.0;
   /// Simulated time from arrival until completion.
   double total_seconds = 0.0;
@@ -62,8 +86,15 @@ struct Report {
   std::string matmul;
   std::string nonlinear;
   std::string policy;  ///< scheduler policy name ("fifo", "sjf", ...)
+  /// Workload provenance descriptor (e.g. "poisson(rate=0.1,seed=2024)"),
+  /// set by the recording tool — the engine does not know how its
+  /// requests were generated. Emitted in to_json() when non-empty and
+  /// part of the bench_compare row key, so every BENCH row names the
+  /// traffic that produced it.
+  std::string workload;
   int max_batch = 0;
   bool has_cost = false;  ///< simulated timing fields are meaningful
+  bool has_slo = false;   ///< an Slo was configured (and has_cost holds)
 
   std::vector<RequestResult> results;  ///< submit() order
 
@@ -72,8 +103,25 @@ struct Report {
   std::int64_t prompt_tokens = 0;  ///< across completed requests
   std::int64_t generated_tokens = 0;
   std::int64_t engine_steps = 0;  ///< ticks the batch loop executed
+  /// Final engine clock: decode ticks plus idle jumps to the next
+  /// arrival. engine_steps == clock_ticks on a closed-loop run; the gap
+  /// between them is time the engine sat idle waiting for traffic.
+  std::int64_t clock_ticks = 0;
   /// Mean number of active requests per tick (batching effectiveness).
   double mean_batch_occupancy = 0.0;
+
+  // Open-loop queueing aggregates (completed requests; exact ticks).
+  double queue_delay_mean_ticks = 0.0;
+  double queue_delay_p99_ticks = 0.0;
+  /// Offered load: completion tokens demanded per clock tick of the
+  /// arrival span — what the clients asked for, independent of what the
+  /// engine achieved. On a closed-loop run the span is one tick, so this
+  /// degenerates to the total demand.
+  double offered_tokens_per_tick = 0.0;
+  /// Achieved service rate: generated tokens per elapsed clock tick.
+  /// Tracks offered load until saturation, then plateaus at capacity —
+  /// the knee bench_serve_slo charts.
+  double throughput_tokens_per_tick = 0.0;
   /// FNV-1a over (id, generated tokens) of completed requests: one exact
   /// CI field that pins every token of every stream.
   std::uint32_t stream_hash = 0;
@@ -102,6 +150,26 @@ struct Report {
   double p50_step_seconds = 0.0;  ///< percentiles over per-token latencies
   double p95_step_seconds = 0.0;
   double p99_step_seconds = 0.0;
+  /// TTFT tail over completed requests (ttft_mean_seconds's p99 sibling;
+  /// queueing delay included — the SLO-facing latency).
+  double p99_ttft_seconds = 0.0;
+  /// Percentiles over gaps between consecutive generated tokens of the
+  /// same request, measured on the global simulated clock. Today a
+  /// request steps every tick once admitted, so gaps equal tick
+  /// latencies — but these are defined per request and stay correct if a
+  /// future engine pauses mid-decode (chunked prefill, preemption).
+  double p50_inter_token_seconds = 0.0;
+  double p95_inter_token_seconds = 0.0;
+  double p99_inter_token_seconds = 0.0;
+
+  // SLO accounting (valid when has_slo; see serve::Slo in load.hpp).
+  double slo_ttft_seconds = 0.0;  ///< the configured thresholds
+  double slo_inter_token_seconds = 0.0;
+  std::int64_t slo_met = 0;  ///< completed requests within the SLO
+  /// slo_met / requests *submitted* — errors and never-completed
+  /// requests count against goodput, which is what makes overload
+  /// visible.
+  double goodput_under_slo = 0.0;
   double energy_j = 0.0;  ///< accelerator + KV buffer energy
   /// KV-cache SRAM access energy (hw::sram over the pool's footprint),
   /// already included in energy_j.

@@ -4,6 +4,7 @@
 // consumer (and every CI run) replays the identical token streams.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -21,12 +22,11 @@ namespace bbal::serve {
 /// the bit-identity gates compare their outputs, so the tie rule must be
 /// shared, not duplicated.
 [[nodiscard]] inline int greedy_argmax(std::span<const float> logits) {
-  int best = 0;
-  for (int i = 1; i < static_cast<int>(logits.size()); ++i)
-    if (logits[static_cast<std::size_t>(i)] >
-        logits[static_cast<std::size_t>(best)])
-      best = i;
-  return best;
+  // max_element keeps the first maximum, which IS the lowest-index tie
+  // rule; an empty span yields 0 like the hand-rolled loop did.
+  if (logits.empty()) return 0;
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
 }
 
 /// `count` requests over `config`'s vocabulary. Prompt i has

@@ -4,26 +4,33 @@
 //
 // Accepted shapes: {"meta": {...}, "rows": [...]} (current) or a bare
 // array of row objects (legacy). Rows are matched by their
-// (model, matmul, nonlinear) key; meta is informational and never compared.
+// (model, matmul, nonlinear, policy, workload) key — the last two are
+// empty for tools that predate them, so Table 2 rows keep their old
+// keys; meta is informational and never compared.
 //
 // Field rules:
 //  - model-quality and simulated-cost fields must match *exactly*
 //    (perplexity, memory footprint, energy, cycles, MAC/token/GEMM
 //    counts, stream hashes): the engines guarantee bit-identical numerics
 //    at any thread count, so any drift is a real regression;
-//  - rate-like fields (anything named *seconds* or *throughput*, e.g.
-//    "seconds", "throughput_gops", "p99_step_seconds",
-//    "throughput_tokens_per_second") get a relative tolerance, ±10% by
-//    default (--tol 0.1 to override);
+//  - rate-like fields (anything named *seconds*, *throughput*, *rate*,
+//    *occupancy*, *latency*, *delay*, *goodput* or *offered*, e.g.
+//    "p99_step_seconds", "queue_delay_p99_ticks", "goodput_under_slo")
+//    get a relative tolerance, ±10% by default (--tol 0.1 to override);
 //  - a field or row present in the baseline but missing from the candidate
 //    is a regression; a field or row present only in the candidate is
 //    reported as a named EXTRA warning and passes (new coverage, not lost
-//    coverage — but never silently skipped).
+//    coverage — but never silently skipped). With --rows-subset the
+//    candidate may carry a subset of the baseline's rows (missing rows
+//    warn instead of failing) — the quick-CI SLO gate records one load
+//    point and checks it against the full committed sweep; matched rows
+//    are still gated field by field.
 //
 // Every mismatch is reported before the exit code is decided: a
 // multi-field regression shows all offending fields in one CI log.
 //
-// Usage: bench_compare <baseline.json> <candidate.json> [--tol FRACTION]
+// Usage: bench_compare <baseline.json> <candidate.json>
+//                      [--tol FRACTION] [--rows-subset]
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -211,20 +218,27 @@ class JsonParser {
 
 /// Fields allowed to drift within the relative tolerance: time- and
 /// rate-like metrics ("seconds", "throughput_gops", the serving report's
-/// "*_seconds" latencies and "throughput_tokens_per_second") plus the
-/// serving engine's ratio metrics ("prefix_hit_rate", "*occupancy") —
-/// deterministic in one build, but sensitive by design to request-mix or
-/// policy tweaks a baseline refresh shouldn't be forced for. Everything
-/// else must be bit-identical (see file header).
+/// "*_seconds" latencies and "throughput_tokens_per_second"), the
+/// serving engine's ratio metrics ("prefix_hit_rate", "*occupancy"), and
+/// the SLO study's queueing metrics ("*latency*", "queue_delay_*",
+/// "goodput_under_slo", "offered_tokens_per_tick") — deterministic in
+/// one build, but sensitive by design to request-mix or policy tweaks a
+/// baseline refresh shouldn't be forced for. Everything else must be
+/// bit-identical (see file header).
 bool is_rate_field(const std::string& key) {
   return key.find("seconds") != std::string::npos ||
          key.find("throughput") != std::string::npos ||
          key.find("rate") != std::string::npos ||
-         key.find("occupancy") != std::string::npos;
+         key.find("occupancy") != std::string::npos ||
+         key.find("latency") != std::string::npos ||
+         key.find("delay") != std::string::npos ||
+         key.find("goodput") != std::string::npos ||
+         key.find("offered") != std::string::npos;
 }
 
 struct Rows {
-  // key "model|matmul|nonlinear" -> row object, plus file order for output
+  // key "model|matmul|nonlinear|policy|workload" -> row object, plus file
+  // order for output
   std::map<std::string, const JsonValue*> by_key;
   std::vector<std::string> order;
 };
@@ -235,7 +249,12 @@ std::string row_key(const JsonValue& row) {
     return v != nullptr && v->kind == JsonValue::Kind::kString ? v->str
                                                                : std::string();
   };
-  return field("model") + " | " + field("matmul") + " | " + field("nonlinear");
+  // policy/workload distinguish the serving sweeps (BENCH_slo has one row
+  // per load x policy at a fixed strategy); both are empty strings for
+  // rows that predate them, leaving Table 2 keys unchanged.
+  return field("model") + " | " + field("matmul") + " | " +
+         field("nonlinear") + " | " + field("policy") + " | " +
+         field("workload");
 }
 
 bool load_rows(const char* path, JsonValue& storage, Rows& rows) {
@@ -289,9 +308,12 @@ int main(int argc, char** argv) {
   const char* baseline_path = nullptr;
   const char* candidate_path = nullptr;
   double tol = 0.10;
+  bool rows_subset = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--tol" && i + 1 < argc) {
+    if (arg == "--rows-subset") {
+      rows_subset = true;
+    } else if (arg == "--tol" && i + 1 < argc) {
       // A typo'd tolerance must not silently become exact-match (0.0).
       char* end = nullptr;
       tol = std::strtod(argv[++i], &end);
@@ -303,7 +325,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: bench_compare <baseline.json> <candidate.json> "
-                   "[--tol FRACTION]\n");
+                   "[--tol FRACTION] [--rows-subset]\n");
       return 0;
     } else if (baseline_path == nullptr) {
       baseline_path = argv[i];
@@ -317,7 +339,7 @@ int main(int argc, char** argv) {
   if (baseline_path == nullptr || candidate_path == nullptr) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline.json> <candidate.json> "
-                 "[--tol FRACTION]\n");
+                 "[--tol FRACTION] [--rows-subset]\n");
     return 2;
   }
 
@@ -341,12 +363,20 @@ int main(int argc, char** argv) {
     ++warnings;
   };
 
+  int matched_rows = 0;
   for (const std::string& key : baseline.order) {
     const auto it = candidate.by_key.find(key);
     if (it == candidate.by_key.end()) {
-      regress("row missing from candidate: " + key);
+      // Under --rows-subset the candidate deliberately records fewer
+      // rows (quick CI re-measures one load point of the full sweep);
+      // uncovered baseline rows are named, not failed.
+      if (rows_subset)
+        warn("row not re-measured by candidate (--rows-subset): " + key);
+      else
+        regress("row missing from candidate: " + key);
       continue;
     }
+    ++matched_rows;
     const JsonValue& brow = *baseline.by_key[key];
     const JsonValue& crow = *it->second;
     for (const auto& [field, bval] : brow.object) {
@@ -406,10 +436,15 @@ int main(int argc, char** argv) {
     if (baseline.by_key.count(key) == 0)
       warn("row only in candidate (not in baseline, not gated): " + key);
 
-  std::printf("bench_compare: %zu baseline rows, %d fields checked, "
-              "%d regression(s), %d warning(s), tolerance ±%.0f%% on rate "
-              "fields\n",
-              baseline.order.size(), checked_fields, regressions, warnings,
-              tol * 100.0);
+  // A subset gate that matched nothing gated nothing — that's a broken
+  // invocation (key drift, wrong file), not a pass.
+  if (rows_subset && matched_rows == 0 && !baseline.order.empty())
+    regress("--rows-subset matched no baseline row at all");
+
+  std::printf("bench_compare: %zu baseline rows, %d matched, %d fields "
+              "checked, %d regression(s), %d warning(s), tolerance ±%.0f%% "
+              "on rate fields\n",
+              baseline.order.size(), matched_rows, checked_fields, regressions,
+              warnings, tol * 100.0);
   return regressions == 0 ? 0 : 1;
 }

@@ -10,9 +10,9 @@ set -u
 
 failures=0
 
-# --- Presence: the documentation set PR 4 established ---
+# --- Presence: the documentation set PR 4 established (+ LOADGEN, PR 6) ---
 for required in README.md docs/ARCHITECTURE.md docs/SERVING.md \
-                docs/STRATEGIES.md; do
+                docs/STRATEGIES.md docs/LOADGEN.md; do
   if [ ! -f "$required" ]; then
     echo "MISSING     $required"
     failures=$((failures + 1))

@@ -13,13 +13,24 @@
 // the same contract as tools/record_table2.
 //
 // Usage: ./build/tools/record_serve [out.json] [--threads N]
-//                                   [--policy fifo|sjf|prefix-aware]
+//            [--policy fifo|sjf|prefix-aware]
+//            [--workload synthetic|shared-prefix|poisson|bursty|trace=PATH]
+//            [--seed N] [--rate REQS_PER_TICK]
 // Env:   BBAL_MODEL (default Llama-7B), BBAL_EVAL_TOKENS (default 128),
 //        BBAL_SERVE_REQUESTS (default 8), BBAL_SERVE_NEW_TOKENS (default
-//        16), BBAL_SERVE_BATCH (default 4), BBAL_THREADS (--threads wins)
+//        16), BBAL_SERVE_BATCH (default 4), BBAL_SERVE_PREFIX (default 8,
+//        shared-prefix only), BBAL_THREADS (--threads wins)
 //
-// The committed baseline records the fifo policy (the bit-identity
-// reference); --policy exists for ad-hoc scheduler studies.
+// Workloads: "synthetic" (default) is the closed-loop PR-5 mix —
+// byte-exact with the pre-open-loop recorder; "shared-prefix" is the
+// closed-loop common-system-prompt mix; "poisson"/"bursty" stamp the
+// synthetic mix with seeded open-loop arrivals at --rate requests per
+// tick; "trace=PATH" replays a serve::trace JSONL file. The descriptor
+// for whichever was picked is recorded in meta and in every row (the
+// "workload" field, part of the bench_compare row key).
+//
+// The committed baseline records the fifo policy and synthetic workload
+// (the bit-identity reference); the flags exist for ad-hoc studies.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +41,9 @@
 #include "bbal/registry.hpp"
 #include "common/threadpool.hpp"
 #include "serve/engine.hpp"
+#include "serve/load.hpp"
 #include "serve/policy.hpp"
+#include "serve/trace.hpp"
 #include "serve/workload.hpp"
 
 namespace {
@@ -49,9 +62,42 @@ int main(int argc, char** argv) {
   bool have_out_path = false;
   int threads_flag = 0;
   std::string policy = "fifo";
+  std::string workload = "synthetic";
+  std::uint64_t seed = 2024;
+  double rate = 0.05;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threads") {
+    if (arg == "--workload") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "record_serve: --workload needs a value\n");
+        return 2;
+      }
+      workload = argv[++i];
+      if (workload != "synthetic" && workload != "shared-prefix" &&
+          workload != "poisson" && workload != "bursty" &&
+          workload.rfind("trace=", 0) != 0) {
+        std::fprintf(stderr, "record_serve: bad --workload value \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "record_serve: --seed needs a value\n");
+        return 2;
+      }
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--rate") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "record_serve: --rate needs a value\n");
+        return 2;
+      }
+      rate = std::strtod(argv[++i], nullptr);
+      if (!(rate > 0.0)) {
+        std::fprintf(stderr, "record_serve: bad --rate value \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--threads") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "record_serve: --threads needs a value\n");
         return 2;
@@ -76,7 +122,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: record_serve [out.json] [--threads N] "
-                   "[--policy fifo|sjf|prefix-aware]\n");
+                   "[--policy fifo|sjf|prefix-aware] "
+                   "[--workload synthetic|shared-prefix|poisson|bursty|"
+                   "trace=PATH] [--seed N] [--rate R]\n");
       return 0;
     } else if (arg.rfind("-", 0) == 0) {
       std::fprintf(stderr, "record_serve: unknown option \"%s\"\n",
@@ -106,15 +154,57 @@ int main(int argc, char** argv) {
   const std::vector<std::string> strategies = {"FP32", "INT8", "BFP4",
                                                "BBFP(4,2)", "BBFP(6,3)"};
 
-  std::fprintf(stderr,
-               "serving %d requests (x%d tokens, batch %d) on %s under %zu "
-               "strategies...\n",
-               num_requests, new_tokens, max_batch, model_name.c_str(),
-               strategies.size());
   const auto wall_start = std::chrono::steady_clock::now();
   const auto prepared = prepare_shared(model_name, eval_tokens);
-  const std::vector<serve::Request> requests = serve::synthetic_requests(
-      prepared->config, num_requests, /*base_prompt_len=*/12, new_tokens);
+
+  // Build the request mix and its self-describing provenance string. The
+  // descriptor lands in meta and in every row ("workload", part of the
+  // bench_compare row key), so a baseline names the traffic that made it.
+  std::vector<serve::Request> requests;
+  std::string descriptor;
+  if (workload == "synthetic") {
+    requests = serve::synthetic_requests(prepared->config, num_requests,
+                                         /*base_prompt_len=*/12, new_tokens,
+                                         seed);
+    descriptor = "synthetic(n=" + std::to_string(num_requests) +
+                 ",seed=" + std::to_string(seed) + ")";
+  } else if (workload == "shared-prefix") {
+    const int prefix_len = env_int("BBAL_SERVE_PREFIX", 8);
+    requests = serve::shared_prefix_requests(prepared->config, num_requests,
+                                             prefix_len, /*suffix_len=*/4,
+                                             new_tokens, seed);
+    descriptor = "shared-prefix(n=" + std::to_string(num_requests) +
+                 ",prefix=" + std::to_string(prefix_len) +
+                 ",seed=" + std::to_string(seed) + ")";
+  } else if (workload == "poisson" || workload == "bursty") {
+    requests = serve::synthetic_requests(prepared->config, num_requests,
+                                         /*base_prompt_len=*/12, new_tokens,
+                                         seed);
+    serve::ArrivalSpec spec;
+    spec.kind = workload == "poisson" ? serve::ArrivalSpec::Kind::kPoisson
+                                      : serve::ArrivalSpec::Kind::kBursty;
+    spec.rate = rate;
+    spec.seed = seed;
+    const auto ticks = serve::generate_arrivals(spec, num_requests);
+    serve::stamp_arrivals(requests, ticks);
+    descriptor = serve::describe_arrivals(spec);
+  } else {  // trace=PATH, validated during flag parsing
+    const std::string path = workload.substr(6);
+    auto entries = serve::read_trace(path);
+    if (!entries.is_ok()) {
+      std::fprintf(stderr, "record_serve: %s\n", entries.message().c_str());
+      return 1;
+    }
+    requests = serve::materialize_trace(prepared->config, entries.value(),
+                                        seed);
+    descriptor = "trace(" + path + ",seed=" + std::to_string(seed) + ")";
+  }
+
+  std::fprintf(stderr,
+               "serving %zu requests [%s] (x%d tokens, batch %d) on %s "
+               "under %zu strategies...\n",
+               requests.size(), descriptor.c_str(), new_tokens, max_batch,
+               model_name.c_str(), strategies.size());
 
   std::vector<std::string> rows;
   for (const std::string& strategy : strategies) {
@@ -148,7 +238,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     for (const serve::Request& req : requests) engine.value().submit(req);
-    const serve::Report report = engine.value().run();
+    serve::Report report = engine.value().run();
+    report.workload = descriptor;
     if (report.completed != report.requests) {
       std::fprintf(stderr, "  %s: only %lld of %lld requests completed\n",
                    strategy.c_str(),
@@ -175,12 +266,13 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out,
                "{\n\"meta\": {\"model\": \"%s\", \"eval_tokens\": %d, "
-               "\"requests\": %d, \"new_tokens\": %d, \"max_batch\": %d, "
-               "\"policy\": \"%s\", \"threads\": %d, "
-               "\"hardware_concurrency\": %u, "
+               "\"requests\": %zu, \"new_tokens\": %d, \"max_batch\": %d, "
+               "\"policy\": \"%s\", \"workload\": \"%s\", \"seed\": %llu, "
+               "\"threads\": %d, \"hardware_concurrency\": %u, "
                "\"wall_seconds\": %.6g},\n\"rows\": [\n",
-               model_name.c_str(), eval_tokens, num_requests, new_tokens,
-               max_batch, policy.c_str(),
+               model_name.c_str(), eval_tokens, requests.size(), new_tokens,
+               max_batch, policy.c_str(), descriptor.c_str(),
+               static_cast<unsigned long long>(seed),
                common::ThreadPool::global().thread_count(),
                std::thread::hardware_concurrency(), wall_seconds);
   for (std::size_t i = 0; i < rows.size(); ++i)
