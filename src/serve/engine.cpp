@@ -50,6 +50,8 @@ Result<Engine> Engine::create(
                     std::to_string(options.kv_pool_pages));
   auto policy = make_policy(options.policy);
   if (!policy.is_ok()) return R::error(policy.message());
+  auto kv_format = quant::KvFormat::parse(options.kv_format);
+  if (!kv_format.is_ok()) return R::error("kv_format: " + kv_format.message());
 
   const BackendRegistry& registry = BackendRegistry::instance();
   {
@@ -70,6 +72,7 @@ Result<Engine> Engine::create(
   engine.matmul_ = matmul;
   engine.nonlinear_ = nonlinear;
   engine.policy_ = std::move(policy).value();
+  engine.kv_format_ = kv_format.value();
   engine.kv_page_tokens_ = options.kv_page_tokens;
   engine.kv_pool_pages_ = options.kv_pool_pages;
 
@@ -150,6 +153,7 @@ Report Engine::run() {
   report.matmul = matmul_.to_string();
   report.nonlinear = nonlinear_.to_string();
   report.policy = std::string(policy_->name());
+  report.kv_format = kv_format_.name();
   report.max_batch = max_batch();
   report.has_cost = accel_.has_value();
   report.has_slo = slo_.has_value();
@@ -216,6 +220,7 @@ Report Engine::run() {
   };
   PagedKVPool::Options kv_options;
   kv_options.page_tokens = kv_page_tokens_;
+  kv_options.kv_format = kv_format_;
   if (kv_pool_pages_ > 0) {
     kv_options.max_pages = kv_pool_pages_;
   } else {
@@ -230,9 +235,18 @@ Report Engine::run() {
   PagedKVPool kv(cfg, kv_options);
   const bool sharing = policy_->wants_prefix_sharing();
   // The KV buffer macro pricing each tick's cache traffic (has_cost runs).
+  // Sized to the *packed* pool, so a quantised kv_format shrinks the macro
+  // and its per-access energy along with the resident bytes.
   const hw::SramMacro kv_sram = hw::make_sram(
       static_cast<std::size_t>(kv.max_pages()) *
       static_cast<std::size_t>(kv.page_bytes()));
+  // One position's packed K+V bytes across all layers: the unit of KV
+  // traffic pricing below.
+  const std::int64_t token_kv_bytes = static_cast<std::int64_t>(cfg.n_layers) *
+                                      2 * kv.encoded_row_bytes();
+  // What PR 3's monolithic per-request caches stored per position — always
+  // FP32 floats, so kv_bytes_peak_contiguous stays the format-independent
+  // yardstick the packed pool is compared against.
   const std::int64_t token_bytes = static_cast<std::int64_t>(cfg.n_layers) *
                                    2 * cfg.d_model *
                                    static_cast<std::int64_t>(sizeof(float));
@@ -379,7 +393,7 @@ Report Engine::run() {
     double tick_seconds = 0.0;
     if (accel_) {
       std::vector<accel::GemmShape> workload;
-      std::int64_t kv_floats = 0;
+      std::int64_t kv_bytes = 0;
       for (const InFlight& flight : active) {
         const int ctx = kv.length(flight.seq) + 1;
         std::vector<accel::GemmShape> step =
@@ -387,8 +401,9 @@ Report Engine::run() {
         workload.insert(workload.end(),
                         std::make_move_iterator(step.begin()),
                         std::make_move_iterator(step.end()));
-        kv_floats += static_cast<std::int64_t>(cfg.n_layers) * 2 *
-                     cfg.d_model * (ctx + 1);
+        // ctx reads + 1 write of K and V rows per layer, in packed bytes —
+        // a quantised format moves proportionally less KV traffic.
+        kv_bytes += token_kv_bytes * (ctx + 1);
       }
       const accel::RunStats stats = accel::simulate_workload(*accel_, workload);
       tick_seconds = stats.seconds;
@@ -398,8 +413,8 @@ Report Engine::run() {
       energy.buffer_j += stats.energy.buffer_j;
       energy.dram_j += stats.energy.dram_j;
       energy.static_j += stats.energy.static_j;
-      // 64-bit words on the KV macro port: 2 floats per access.
-      kv_energy_j += static_cast<double>(kv_floats) / 2.0 *
+      // 64-bit words on the KV macro port: 8 packed bytes per access.
+      kv_energy_j += static_cast<double>(kv_bytes) / 8.0 *
                      kv_sram.access_pj() * 1e-12;
     }
 
@@ -605,6 +620,7 @@ std::string Report::to_json() const {
   os << "{\"model\": \"" << model << "\", \"matmul\": \"" << matmul
      << "\", \"nonlinear\": \"" << nonlinear << "\", \"policy\": \""
      << policy << "\"";
+  if (!kv_format.empty()) os << ", \"kv_format\": \"" << kv_format << "\"";
   if (!workload.empty()) os << ", \"workload\": \"" << workload << "\"";
   append_json_int(os, "requests", requests);
   append_json_int(os, "completed", completed);

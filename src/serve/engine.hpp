@@ -98,6 +98,14 @@ class Engine {
     std::string policy = "fifo";
     /// Positions per KV page (see PagedKVPool::Options::page_tokens).
     int kv_page_tokens = 16;
+    /// Storage format of the paged KV cache: "FP32" (default), "INT8",
+    /// "BFP<m>" or "BBFP(<m>,<o>)" — see quant::KvFormat and
+    /// docs/KV_QUANT.md. Rows are quantised on append and dequantised on
+    /// attention read, so the decode arithmetic is unchanged; kv_bytes_peak
+    /// and kv_energy_j are priced on the packed pool. Unknown names are
+    /// create() errors. FP32 keeps streams byte-exact with the
+    /// pre-quantised-KV engine.
+    std::string kv_format = "FP32";
     /// KV pool capacity in pages; 0 auto-sizes each run() so every valid
     /// request could be resident at once (admission then only ever defers
     /// on slots, and page exhaustion is impossible). An explicit cap can
@@ -162,6 +170,10 @@ class Engine {
     return nonlinear_;
   }
   [[nodiscard]] int max_batch() const { return max_batch_; }
+  /// The KV-cache storage format every run's pool encodes through.
+  [[nodiscard]] const quant::KvFormat& kv_format() const {
+    return kv_format_;
+  }
   /// Bytes of quantised weight storage held by the shared backend —
   /// independent of max_batch (weights are prepared exactly once).
   [[nodiscard]] std::int64_t weights_bytes() const {
@@ -201,6 +213,7 @@ class Engine {
   std::optional<accel::AcceleratorConfig> accel_;
   std::optional<Slo> slo_;
   std::unique_ptr<SchedulerPolicy> policy_;
+  quant::KvFormat kv_format_{};
   int kv_page_tokens_ = 16;
   int kv_pool_pages_ = 0;
   int max_batch_ = 0;

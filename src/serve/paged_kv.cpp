@@ -7,7 +7,9 @@
 namespace bbal::serve {
 
 PagedKVPool::PagedKVPool(const llm::ModelConfig& config, Options options)
-    : config_(config), options_(options) {
+    : config_(config),
+      options_(options),
+      codec_(options.kv_format, config.d_model) {
   assert(options_.page_tokens > 0 && options_.max_pages > 0);
   pages_.resize(static_cast<std::size_t>(options_.max_pages));
   // Stack of free ids, highest first, so allocation order is 0, 1, 2, ...
@@ -19,12 +21,12 @@ std::size_t PagedKVPool::row_offset(int layer, int slot) const {
   return (static_cast<std::size_t>(layer) *
               static_cast<std::size_t>(options_.page_tokens) +
           static_cast<std::size_t>(slot)) *
-         static_cast<std::size_t>(config_.d_model);
+         codec_.encoded_row_bytes();
 }
 
 std::int64_t PagedKVPool::page_bytes() const {
   return static_cast<std::int64_t>(config_.n_layers) * options_.page_tokens *
-         2 * config_.d_model * static_cast<std::int64_t>(sizeof(float));
+         2 * encoded_row_bytes();
 }
 
 int PagedKVPool::pages_for(int total_positions) const {
@@ -48,10 +50,10 @@ Result<int> PagedKVPool::allocate_page() {
   const int id = free_pages_.back();
   free_pages_.pop_back();
   Page& page = pages_[static_cast<std::size_t>(id)];
-  const std::size_t floats = row_offset(config_.n_layers, 0);
-  if (page.k.size() != floats) {
-    page.k.assign(floats, 0.0f);
-    page.v.assign(floats, 0.0f);
+  const std::size_t bytes = row_offset(config_.n_layers, 0);
+  if (page.k.size() != bytes) {
+    page.k.assign(bytes, std::uint8_t{0});
+    page.v.assign(bytes, std::uint8_t{0});
   }
   page.refs = 1;
   ++stats_.pages_allocated;
@@ -190,6 +192,7 @@ Status PagedKVPool::reserve_next(SeqId id) {
   if (pages_[static_cast<std::size_t>(tail)].refs > 1) {
     // Copy-on-write: the tail is shared (fork or registered prefix); give
     // this sequence a private copy of the filled slots before it diverges.
+    // Encoded bytes copy verbatim — no re-quantisation on the copy path.
     auto fresh = allocate_page();
     if (!fresh.is_ok()) return fresh.status();
     Page& dst = pages_[static_cast<std::size_t>(fresh.value())];
@@ -257,45 +260,103 @@ int PagedKVView::length() const {
   return pool_->sequences_[static_cast<std::size_t>(id_)].length;
 }
 
+std::size_t PagedKVView::float_offset(int layer, int slot) const {
+  return (static_cast<std::size_t>(layer) *
+              static_cast<std::size_t>(pool_->options_.page_tokens) +
+          static_cast<std::size_t>(slot)) *
+         static_cast<std::size_t>(pool_->config_.d_model);
+}
+
+PagedKVView::DecodedPage& PagedKVView::decoded_page(int page_index) const {
+  if (static_cast<std::size_t>(page_index) >= decoded_.size())
+    decoded_.resize(static_cast<std::size_t>(page_index) + 1);
+  DecodedPage& dp = decoded_[static_cast<std::size_t>(page_index)];
+  const std::size_t floats = float_offset(pool_->config_.n_layers, 0);
+  if (dp.k.size() != floats) {
+    dp.k.assign(floats, 0.0f);
+    dp.v.assign(floats, 0.0f);
+    dp.slots = 0;
+  }
+  const PagedKVPool::Sequence& seq =
+      pool_->sequences_[static_cast<std::size_t>(id_)];
+  const int filled = std::clamp(
+      seq.length - page_index * pool_->options_.page_tokens, 0,
+      pool_->options_.page_tokens);
+  if (filled > dp.slots) {
+    // Decode the storage-backed slots this view has not seen yet — for
+    // every layer, so spans into the buffer work for the whole step.
+    const PagedKVPool::Page& page = pool_->pages_[static_cast<std::size_t>(
+        seq.pages[static_cast<std::size_t>(page_index)])];
+    const std::size_t row_bytes = pool_->codec_.encoded_row_bytes();
+    const std::size_t d_model =
+        static_cast<std::size_t>(pool_->config_.d_model);
+    for (int layer = 0; layer < pool_->config_.n_layers; ++layer) {
+      for (int slot = dp.slots; slot < filled; ++slot) {
+        const std::size_t src = pool_->row_offset(layer, slot);
+        const std::size_t dst = float_offset(layer, slot);
+        pool_->codec_.decode_row(
+            std::span<const std::uint8_t>(page.k.data() + src, row_bytes),
+            std::span<float>(dp.k.data() + dst, d_model));
+        pool_->codec_.decode_row(
+            std::span<const std::uint8_t>(page.v.data() + src, row_bytes),
+            std::span<float>(dp.v.data() + dst, d_model));
+      }
+    }
+    dp.slots = filled;
+  }
+  return dp;
+}
+
 void PagedKVView::append(int layer, std::span<const float> k_row,
                          std::span<const float> v_row) {
   PagedKVPool::Sequence& seq =
       pool_->sequences_[static_cast<std::size_t>(id_)];
   const int slot = seq.length % pool_->options_.page_tokens;
+  const int page_index = seq.length / pool_->options_.page_tokens;
   PagedKVPool::Page& page =
       pool_->pages_[static_cast<std::size_t>(seq.pages.back())];
   const std::size_t off = pool_->row_offset(layer, slot);
-  std::copy(k_row.begin(), k_row.end(), page.k.begin() + off);
-  std::copy(v_row.begin(), v_row.end(), page.v.begin() + off);
+  const std::size_t row_bytes = pool_->codec_.encoded_row_bytes();
+  pool_->codec_.encode_row(
+      k_row, std::span<std::uint8_t>(page.k.data() + off, row_bytes));
+  pool_->codec_.encode_row(
+      v_row, std::span<std::uint8_t>(page.v.data() + off, row_bytes));
+  // Round-trip the row into this view's decode cache so a read later in
+  // the same step sees exactly the dequantised values every future step
+  // (and every sharer of the page) will read back from storage.
+  DecodedPage& dp = decoded_page(page_index);
+  const std::size_t dst = float_offset(layer, slot);
+  const std::size_t d_model = static_cast<std::size_t>(pool_->config_.d_model);
+  pool_->codec_.decode_row(
+      std::span<const std::uint8_t>(page.k.data() + off, row_bytes),
+      std::span<float>(dp.k.data() + dst, d_model));
+  pool_->codec_.decode_row(
+      std::span<const std::uint8_t>(page.v.data() + off, row_bytes),
+      std::span<float>(dp.v.data() + dst, d_model));
   // The step's position is committed once the last layer's row lands; the
   // counter is this sequence's own state, so a parallel tick stepping
   // other sequences never contends on it.
-  if (layer == pool_->config_.n_layers - 1) ++seq.length;
+  if (layer == pool_->config_.n_layers - 1) {
+    ++seq.length;
+    if (dp.slots == slot) dp.slots = slot + 1;
+  }
 }
 
 std::span<const float> PagedKVView::k_at(int layer, int pos) const {
-  const PagedKVPool::Sequence& seq =
-      pool_->sequences_[static_cast<std::size_t>(id_)];
   const int page_index = pos / pool_->options_.page_tokens;
   const int slot = pos % pool_->options_.page_tokens;
-  const PagedKVPool::Page& page =
-      pool_->pages_[static_cast<std::size_t>(
-          seq.pages[static_cast<std::size_t>(page_index)])];
+  const DecodedPage& dp = decoded_page(page_index);
   return std::span<const float>(
-      page.k.data() + pool_->row_offset(layer, slot),
+      dp.k.data() + float_offset(layer, slot),
       static_cast<std::size_t>(pool_->config_.d_model));
 }
 
 std::span<const float> PagedKVView::v_at(int layer, int pos) const {
-  const PagedKVPool::Sequence& seq =
-      pool_->sequences_[static_cast<std::size_t>(id_)];
   const int page_index = pos / pool_->options_.page_tokens;
   const int slot = pos % pool_->options_.page_tokens;
-  const PagedKVPool::Page& page =
-      pool_->pages_[static_cast<std::size_t>(
-          seq.pages[static_cast<std::size_t>(page_index)])];
+  const DecodedPage& dp = decoded_page(page_index);
   return std::span<const float>(
-      page.v.data() + pool_->row_offset(layer, slot),
+      dp.v.data() + float_offset(layer, slot),
       static_cast<std::size_t>(pool_->config_.d_model));
 }
 

@@ -7,11 +7,18 @@
 // times. The pool instead carves KV storage into fixed-size token pages:
 //
 //  - a page holds `page_tokens` positions of K and V rows for every layer
-//    (one physical allocation, laid out [layer][slot][d_model]);
+//    (one physical allocation, laid out [layer][slot][row]);
+//  - rows are stored *packed* in the pool's quant::KvFormat — FP32 raw
+//    floats by default, or INT8 / BFP / BBFP shared-exponent groups via
+//    quant::KvPageCodec, quantised on append and dequantised on read
+//    (see docs/KV_QUANT.md). page_bytes() and every byte metric derived
+//    from it count these packed bytes;
 //  - a sequence is a page table (vector of page ids) plus a length;
 //  - pages are refcounted: fork() shares every page of a sequence, and
 //    create(prompt) attaches the full pages of a registered prompt prefix
-//    (copy-on-write: appending into a shared tail page copies it first);
+//    (copy-on-write: appending into a shared tail page copies it first).
+//    Sharing and CoW operate on the encoded bytes — the codec never runs
+//    twice over a shared prefix;
 //  - allocation is free-list based, capacity-bounded (max_pages), and
 //    exhaustion is a Status error after deterministic LRU eviction of
 //    registered prefixes — never an abort;
@@ -19,12 +26,12 @@
 //    which the engine surfaces as kv_pages_allocated, kv_bytes_peak,
 //    prefix_hit_rate and pool occupancy, and prices via hw::sram.
 //
-// Prefix sharing is bit-safe by construction: K/V rows are a deterministic
-// function of (model weights, strategy, token prefix), and every request
-// runs on the engine's one shared quantised backend, so a shared page
-// holds exactly the floats every sharer would have computed (test_paged_kv
-// pins decoder-through-pool against decoder-through-KVCache, float for
-// float).
+// Prefix sharing is bit-safe by construction: encoded K/V rows are a
+// deterministic function of (model weights, strategy, kv format, token
+// prefix), and every request runs on the engine's one shared quantised
+// backend, so a shared page holds exactly the bytes every sharer would
+// have computed (test_paged_kv pins decoder-through-pool against
+// decoder-through-KVCache, float for float, in the FP32 format).
 //
 // Threading contract: all *structural* mutation — create / fork /
 // release / reserve_next / register_prefix / probe — is serial-only (the
@@ -32,9 +39,10 @@
 // appends and reads through each sequence's PagedKVView from the calling
 // thread only (parallelism lives inside the batched GEMMs, which never
 // touch the pool); a view append only writes that sequence's reserved
-// tail slot and its own length counter — disjoint state, no locks
-// needed, and safe even if a caller steps distinct sequences from
-// distinct threads.
+// tail slot, its own length counter and its own decode cache — disjoint
+// state, no locks needed, and safe even if a caller steps distinct
+// sequences from distinct threads (shared pages are only ever *read*
+// concurrently; a page with refcount > 1 is copied before any append).
 #pragma once
 
 #include <cstdint>
@@ -44,6 +52,7 @@
 #include "common/result.hpp"
 #include "llm/decoder.hpp"
 #include "llm/model.hpp"
+#include "quant/kv_codec.hpp"
 
 namespace bbal::serve {
 
@@ -59,6 +68,10 @@ class PagedKVPool {
     /// Pool capacity. Page payloads are allocated lazily, so a generous
     /// bound costs page-table slots, not memory.
     int max_pages = 256;
+    /// Storage format of every K/V row in the pool (FP32, INT8, BFP<m>,
+    /// BBFP(<m>,<o>)). FP32 — the default — is the identity codec and
+    /// keeps the pool byte-for-byte compatible with the unquantised path.
+    quant::KvFormat kv_format{};
   };
 
   struct Stats {
@@ -133,7 +146,14 @@ class PagedKVPool {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] int page_tokens() const { return options_.page_tokens; }
   [[nodiscard]] int max_pages() const { return options_.max_pages; }
-  /// Bytes of K+V payload one page holds (layers * slots * 2 * d_model).
+  /// The row codec every page stores through.
+  [[nodiscard]] const quant::KvPageCodec& codec() const { return codec_; }
+  /// Packed bytes one K or V row occupies (d_model floats encoded).
+  [[nodiscard]] std::int64_t encoded_row_bytes() const {
+    return static_cast<std::int64_t>(codec_.encoded_row_bytes());
+  }
+  /// *Packed* bytes of K+V payload one page holds
+  /// (layers * slots * 2 * encoded_row_bytes).
   [[nodiscard]] std::int64_t page_bytes() const;
   [[nodiscard]] std::int64_t bytes_in_use() const {
     return static_cast<std::int64_t>(stats_.pages_in_use) * page_bytes();
@@ -149,8 +169,8 @@ class PagedKVPool {
   friend class PagedKVView;
 
   struct Page {
-    std::vector<float> k;  ///< [layer][slot][d_model], lazily allocated
-    std::vector<float> v;
+    std::vector<std::uint8_t> k;  ///< [layer][slot][encoded row], lazy
+    std::vector<std::uint8_t> v;
     int refs = 0;
   };
 
@@ -178,11 +198,12 @@ class PagedKVPool {
   [[nodiscard]] int best_prefix_match(std::span<const int> prompt,
                                       int* match_pages) const;
 
-  // Payload addressing within a page.
+  // Packed-payload addressing within a page (byte offset of a row).
   [[nodiscard]] std::size_t row_offset(int layer, int slot) const;
 
   llm::ModelConfig config_;
   Options options_;
+  quant::KvPageCodec codec_;
   Stats stats_;
   std::vector<Page> pages_;
   std::vector<int> free_pages_;  ///< stack; deterministic push/pop order
@@ -195,6 +216,18 @@ class PagedKVPool {
 /// writes in the paged serving path. Append assumes reserve_next() was
 /// called for the step (the engine's tick protocol) and advances the
 /// sequence length after the last layer's row lands.
+///
+/// Because pages hold packed bytes, the view owns a per-page decode cache:
+/// k_at/v_at return spans into page-sized float buffers filled lazily from
+/// the encoded storage (and directly by append, which round-trips the row
+/// through the codec so a same-step read sees exactly the values every
+/// later step will). Buffers are per-view and allocated once per page, so
+/// spans satisfy the KVCacheView protocol — valid for the rest of the
+/// step, no reallocation mid-step — and a page shared by many sequences
+/// is decoded independently by each reader, never mutated. In the FP32
+/// format the codec is the identity, so the decode cache reproduces the
+/// storage bytes exactly and streams stay bit-identical to the
+/// float-paged engine.
 class PagedKVView final : public llm::KVCacheView {
  public:
   PagedKVView() = default;
@@ -212,8 +245,27 @@ class PagedKVView final : public llm::KVCacheView {
   [[nodiscard]] PagedKVPool::SeqId sequence() const { return id_; }
 
  private:
+  /// Decoded floats of one page, [layer][slot][d_model] per side. `slots`
+  /// counts the leading positions decoded for every layer; the slot a
+  /// step is appending sits above it until the last layer's row lands.
+  struct DecodedPage {
+    std::vector<float> k;
+    std::vector<float> v;
+    int slots = 0;
+  };
+
+  /// The page's decode cache, with every filled slot (per the sequence
+  /// length) decoded. Allocates the buffers on first touch of the page.
+  [[nodiscard]] DecodedPage& decoded_page(int page_index) const;
+  /// Float offset of (layer, slot) within a DecodedPage buffer.
+  [[nodiscard]] std::size_t float_offset(int layer, int slot) const;
+
   PagedKVPool* pool_ = nullptr;
   PagedKVPool::SeqId id_ = -1;
+  /// Indexed by page position in the sequence's page table. Entries move
+  /// but their float buffers never reallocate once sized, so spans handed
+  /// out stay valid for the rest of a step.
+  mutable std::vector<DecodedPage> decoded_;
 };
 
 }  // namespace bbal::serve

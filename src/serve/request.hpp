@@ -86,6 +86,11 @@ struct Report {
   std::string matmul;
   std::string nonlinear;
   std::string policy;  ///< scheduler policy name ("fifo", "sjf", ...)
+  /// KV-cache page storage format ("FP32", "INT8", "BFP4", "BBFP(4,2)");
+  /// quant::KvFormat::name() of the engine's pool. Part of the
+  /// bench_compare row key, so frontier rows that differ only in KV
+  /// format diff cleanly.
+  std::string kv_format;
   /// Workload provenance descriptor (e.g. "poisson(rate=0.1,seed=2024)"),
   /// set by the recording tool — the engine does not know how its
   /// requests were generated. Emitted in to_json() when non-empty and
@@ -133,9 +138,13 @@ struct Report {
   // Paged KV-cache metrics (serve::PagedKVPool). Deterministic: page
   // traffic is a pure function of the request mix and the policy.
   std::int64_t kv_pages_allocated = 0;  ///< cumulative fresh page allocs
-  std::int64_t kv_bytes_peak = 0;       ///< peak pool payload in use
-  /// What PR 3's per-request monolithic caches would have held at the same
-  /// peak tick: the paged-vs-contiguous memory comparison the bench gates.
+  /// Peak pool payload in use, in *packed* (post-quantisation) bytes of
+  /// the run's kv_format — the resident-cache metric a quantised format
+  /// shrinks. Equals the FP32 float payload when kv_format is "FP32".
+  std::int64_t kv_bytes_peak = 0;
+  /// What PR 3's per-request monolithic FP32 caches would have held at the
+  /// same peak tick: the format-independent yardstick both the paging and
+  /// the quantisation savings are measured against.
   std::int64_t kv_bytes_peak_contiguous = 0;
   /// Prompt tokens served from shared pages / prompt tokens offered.
   double prefix_hit_rate = 0.0;

@@ -2,7 +2,10 @@
 // divergence, prompt-prefix hit accounting, exhaustion as a Status error
 // (never an abort) — and the subsystem's bit-identity anchor: a decoder
 // stepping through a PagedKVView produces float-identical logits to the
-// same decoder stepping through a contiguous llm::KVCache.
+// same decoder stepping through a contiguous llm::KVCache. Pages store
+// packed bytes in a quant::KvFormat (FP32 identity by default), so
+// sharing is asserted through refcounts and decoded values, never span
+// addresses, and the quantised formats get their own CoW / prefix tests.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -10,6 +13,7 @@
 #include "bbal/registry.hpp"
 #include "bbal/session.hpp"
 #include "llm/decoder.hpp"
+#include "quant/block.hpp"
 #include "serve/paged_kv.hpp"
 
 namespace bbal {
@@ -92,10 +96,17 @@ TEST(PagedKVPool, ForkSharesPagesAndCopiesOnDivergence) {
   EXPECT_EQ(pool.stats().pages_in_use, 2);  // all pages shared
   EXPECT_EQ(pool.page_refcount(a, 5), 2);
 
-  // Shared tail reads are the same physical floats.
+  // Shared tail reads decode one refcounted physical page: both views see
+  // identical rows (each through its own decode cache — addresses are an
+  // implementation detail, the shared page is what refcounts prove).
   const PagedKVView va(pool, a);
   const PagedKVView vb(pool, b);
-  EXPECT_EQ(va.k_at(1, 5).data(), vb.k_at(1, 5).data());
+  {
+    const auto ka = va.k_at(1, 5);
+    const auto kb = vb.k_at(1, 5);
+    ASSERT_EQ(ka.size(), kb.size());
+    for (std::size_t i = 0; i < ka.size(); ++i) EXPECT_EQ(ka[i], kb[i]);
+  }
   const float before = va.k_at(0, 4).front();
 
   // a appends -> a copies the shared tail page (copy-on-write)...
@@ -107,7 +118,6 @@ TEST(PagedKVPool, ForkSharesPagesAndCopiesOnDivergence) {
   // the diverged page matches bit for bit.
   EXPECT_EQ(vb.k_at(0, 4).front(), before);
   EXPECT_EQ(va.k_at(0, 4).front(), before);
-  EXPECT_NE(va.k_at(0, 4).data(), vb.k_at(0, 4).data());
 
   // b appends next: its tail is now private again, no second copy.
   append_position(pool, b, 222.0f);
@@ -133,10 +143,17 @@ TEST(PagedKVPool, PrefixHitsAreAccountedAndCapped) {
   EXPECT_EQ(pool.length(follower), 8);
   EXPECT_EQ(pool.stats().prefix_hit_tokens, 8);
   EXPECT_EQ(pool.stats().prefix_lookup_tokens, 20);  // both creates counted
-  // Shared positions are the same physical rows; no new pages allocated.
+  // Shared positions read the same physical page (refcount counts leader,
+  // follower and the registry), decoding to identical rows in each view.
   const PagedKVView vl(pool, leader);
   const PagedKVView vf(pool, follower);
-  EXPECT_EQ(vl.k_at(0, 3).data(), vf.k_at(0, 3).data());
+  EXPECT_EQ(pool.page_refcount(follower, 3), 3);
+  {
+    const auto kl = vl.k_at(0, 3);
+    const auto kf = vf.k_at(0, 3);
+    ASSERT_EQ(kl.size(), kf.size());
+    for (std::size_t i = 0; i < kl.size(); ++i) EXPECT_EQ(kl[i], kf[i]);
+  }
 
   // A prompt that is exactly the registered pages must still recompute
   // its final position: the cap keeps sharing strictly below prompt size.
@@ -181,6 +198,130 @@ TEST(PagedKVPool, ExhaustionIsAStatusErrorAndEvictionRecovers) {
   ASSERT_TRUE(pool.reserve_next(b).is_ok());
   EXPECT_EQ(pool.stats().pages_evicted, 2);
   EXPECT_EQ(pool.stats().pages_in_use, 1);
+}
+
+TEST(PagedKVPool, PackedPageBytesShrinkWithTheFormat) {
+  const auto bytes_for = [](const char* name) {
+    PagedKVPool::Options options = small_pool(4, 8);
+    options.kv_format = quant::KvFormat::parse(name).expect(name);
+    return PagedKVPool(tiny_config(), options).page_bytes();
+  };
+  const std::int64_t fp32 = bytes_for("FP32");
+  EXPECT_EQ(fp32, 2 * 4 * 2 * 8 * 4);  // identical to the float layout
+  // d_model = 8 -> one short group per row: BBFP(4,2) is 2 + 6 = 8 bytes
+  // against 32 raw — exactly the 4x floor the frontier bench gates.
+  EXPECT_LE(bytes_for("BBFP(4,2)") * 4, fp32);
+  EXPECT_LE(bytes_for("BFP4") * 4, fp32);
+  EXPECT_LT(bytes_for("INT8"), fp32 / 2);
+}
+
+TEST(PagedKVView, QuantisedAppendsDecodeToTheQuantiseReference) {
+  PagedKVPool::Options options = small_pool(4, 8);
+  options.kv_format = quant::KvFormat::parse("BBFP(4,2)").expect("format");
+  const llm::ModelConfig cfg = tiny_config();
+  PagedKVPool pool(cfg, options);
+  const auto seq = pool.create();
+  PagedKVView writer(pool, seq);
+
+  std::vector<std::vector<float>> expected_k;  // [pos * n_layers + layer]
+  for (int pos = 0; pos < 6; ++pos) {
+    ASSERT_TRUE(pool.reserve_next(seq).is_ok());
+    for (int l = 0; l < cfg.n_layers; ++l) {
+      std::vector<float> k(static_cast<std::size_t>(cfg.d_model));
+      std::vector<float> v(static_cast<std::size_t>(cfg.d_model));
+      for (int i = 0; i < cfg.d_model; ++i) {
+        k[static_cast<std::size_t>(i)] =
+            0.37f * static_cast<float>(pos + 1) * static_cast<float>(i - 3) +
+            0.01f * static_cast<float>(l);
+        v[static_cast<std::size_t>(i)] =
+            -1.3f * static_cast<float>(pos + 1) + 0.05f * static_cast<float>(i);
+      }
+      writer.append(l, k, v);
+      // The reference the codec must reproduce: quantise() over doubles,
+      // narrowed to float exactly as the decode path narrows.
+      const std::vector<double> wide(k.begin(), k.end());
+      const std::vector<double> quantised =
+          quant::quantise(std::span<const double>(wide),
+                          options.kv_format.block);
+      expected_k.emplace_back(quantised.begin(), quantised.end());
+    }
+  }
+  // Both the appending view (same-step cache) and a fresh reader (decode
+  // from packed storage) must see exactly the quantise() reference.
+  const PagedKVView reader(pool, seq);
+  for (int pos = 0; pos < 6; ++pos) {
+    for (int l = 0; l < cfg.n_layers; ++l) {
+      const auto& ref =
+          expected_k[static_cast<std::size_t>(pos * cfg.n_layers + l)];
+      const auto from_writer = writer.k_at(l, pos);
+      const auto from_reader = reader.k_at(l, pos);
+      for (int i = 0; i < cfg.d_model; ++i) {
+        ASSERT_EQ(from_writer[static_cast<std::size_t>(i)],
+                  ref[static_cast<std::size_t>(i)])
+            << "writer pos " << pos << " layer " << l << " elem " << i;
+        ASSERT_EQ(from_reader[static_cast<std::size_t>(i)],
+                  ref[static_cast<std::size_t>(i)])
+            << "reader pos " << pos << " layer " << l << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST(PagedKVPool, CopyOnWriteForksOverEncodedPages) {
+  PagedKVPool::Options options = small_pool(4, 8);
+  options.kv_format = quant::KvFormat::parse("BFP4").expect("format");
+  PagedKVPool pool(tiny_config(), options);
+  const auto a = pool.create();
+  for (int i = 0; i < 6; ++i) append_position(pool, a, 100.0f);
+
+  const auto b = pool.fork(a);
+  const PagedKVView vb(pool, b);
+  const std::vector<float> shared_row(vb.k_at(1, 4).begin(),
+                                      vb.k_at(1, 4).end());
+
+  // a diverges: the shared tail page is copied as opaque encoded bytes, so
+  // b reads back bit-identical quantised rows afterwards.
+  append_position(pool, a, 111.0f);
+  EXPECT_EQ(pool.stats().page_copies, 1);
+  const auto after = vb.k_at(1, 4);
+  ASSERT_EQ(after.size(), shared_row.size());
+  for (std::size_t i = 0; i < after.size(); ++i)
+    EXPECT_EQ(after[i], shared_row[i]);
+  // The diverged position differs between the sequences (different tags).
+  append_position(pool, b, 222.0f);
+  const PagedKVView va(pool, a);
+  EXPECT_NE(va.k_at(0, 6).front(), vb.k_at(0, 6).front());
+}
+
+TEST(PagedKVPool, PrefixSharingVerifiesTokensOnQuantisedPages) {
+  PagedKVPool::Options options = small_pool(4, 16);
+  options.kv_format = quant::KvFormat::parse("BBFP(6,3)").expect("format");
+  PagedKVPool pool(tiny_config(), options);
+  const std::vector<int> prompt = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+
+  const auto leader = pool.create(prompt);
+  for (int i = 0; i < static_cast<int>(prompt.size()); ++i)
+    append_position(pool, leader, 100.0f);
+  pool.register_prefix(leader, prompt);
+
+  // Token verification is independent of the page encoding: a matching
+  // prompt attaches the quantised pages, a diverging one is rejected.
+  const auto follower = pool.create(prompt);
+  EXPECT_EQ(pool.shared_length(follower), 8);
+  std::vector<int> other = prompt;
+  other[2] = 42;
+  EXPECT_EQ(pool.probe_prefix_tokens(other), 0);
+
+  // The follower decodes the shared quantised rows to the leader's values.
+  const PagedKVView vl(pool, leader);
+  const PagedKVView vf(pool, follower);
+  for (const int pos : {0, 3, 7}) {
+    const auto kl = vl.k_at(1, pos);
+    const auto kf = vf.k_at(1, pos);
+    ASSERT_EQ(kl.size(), kf.size());
+    for (std::size_t i = 0; i < kl.size(); ++i)
+      EXPECT_EQ(kl[i], kf[i]) << "pos " << pos << " elem " << i;
+  }
 }
 
 TEST(PagedKVView, DecoderThroughPoolMatchesContiguousCacheBitForBit) {

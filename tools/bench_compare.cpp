@@ -4,9 +4,11 @@
 //
 // Accepted shapes: {"meta": {...}, "rows": [...]} (current) or a bare
 // array of row objects (legacy). Rows are matched by their
-// (model, matmul, nonlinear, policy, workload) key — the last two are
-// empty for tools that predate them, so Table 2 rows keep their old
-// keys; meta is informational and never compared.
+// (model, matmul, nonlinear, policy, kv_format, workload) key — the last
+// three are empty for tools that predate them, so Table 2 rows keep their
+// old keys; meta is informational and never compared. A serving-shaped
+// baseline row without kv_format draws a named WARNING: it predates the
+// quantised KV pages and wants a baseline refresh.
 //
 // Field rules:
 //  - model-quality and simulated-cost fields must match *exactly*
@@ -226,6 +228,10 @@ class JsonParser {
 /// baseline refresh shouldn't be forced for. Everything else must be
 /// bit-identical (see file header).
 bool is_rate_field(const std::string& key) {
+  // Byte footprints are exact by construction (packed KV pages, weight
+  // storage) — never rate-gated, even when a future field name picks up a
+  // rate-like word ("kv_bytes_peak_rate_limited" must stay exact).
+  if (key.find("bytes") != std::string::npos) return false;
   return key.find("seconds") != std::string::npos ||
          key.find("throughput") != std::string::npos ||
          key.find("rate") != std::string::npos ||
@@ -249,12 +255,14 @@ std::string row_key(const JsonValue& row) {
     return v != nullptr && v->kind == JsonValue::Kind::kString ? v->str
                                                                : std::string();
   };
-  // policy/workload distinguish the serving sweeps (BENCH_slo has one row
-  // per load x policy at a fixed strategy); both are empty strings for
-  // rows that predate them, leaving Table 2 keys unchanged.
+  // policy/kv_format/workload distinguish the serving sweeps (BENCH_slo
+  // has one row per load x policy at a fixed strategy; BENCH_serve's
+  // frontier has one row per KV page format at a fixed matmul); all are
+  // empty strings for rows that predate them, leaving Table 2 keys
+  // unchanged.
   return field("model") + " | " + field("matmul") + " | " +
          field("nonlinear") + " | " + field("policy") + " | " +
-         field("workload");
+         field("kv_format") + " | " + field("workload");
 }
 
 bool load_rows(const char* path, JsonValue& storage, Rows& rows) {
@@ -365,6 +373,13 @@ int main(int argc, char** argv) {
 
   int matched_rows = 0;
   for (const std::string& key : baseline.order) {
+    const JsonValue& brow = *baseline.by_key[key];
+    // A serving row (it names a scheduler policy) recorded before KV pages
+    // learned their storage format: flagged up front — the empty kv_format
+    // key slot means it can never match a fresh candidate, so the fix is a
+    // baseline refresh, not a code hunt.
+    if (brow.find("policy") != nullptr && brow.find("kv_format") == nullptr)
+      warn("baseline row predates kv_format (refresh the baseline): " + key);
     const auto it = candidate.by_key.find(key);
     if (it == candidate.by_key.end()) {
       // Under --rows-subset the candidate deliberately records fewer
@@ -377,7 +392,6 @@ int main(int argc, char** argv) {
       continue;
     }
     ++matched_rows;
-    const JsonValue& brow = *baseline.by_key[key];
     const JsonValue& crow = *it->second;
     for (const auto& [field, bval] : brow.object) {
       const JsonValue* cval = crow.find(field);

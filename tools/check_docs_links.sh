@@ -10,9 +10,10 @@ set -u
 
 failures=0
 
-# --- Presence: the documentation set PR 4 established (+ LOADGEN, PR 6) ---
+# --- Presence: the documentation set PR 4 established (+ LOADGEN PR 6,
+#     KV_QUANT PR 7) ---
 for required in README.md docs/ARCHITECTURE.md docs/SERVING.md \
-                docs/STRATEGIES.md docs/LOADGEN.md; do
+                docs/STRATEGIES.md docs/LOADGEN.md docs/KV_QUANT.md; do
   if [ ! -f "$required" ]; then
     echo "MISSING     $required"
     failures=$((failures + 1))

@@ -16,10 +16,20 @@
 //            [--policy fifo|sjf|prefix-aware]
 //            [--workload synthetic|shared-prefix|poisson|bursty|trace=PATH]
 //            [--seed N] [--rate REQS_PER_TICK]
+//            [--kv-format FP32|INT8|BFP<m>|BBFP(<m>,<o>)]
 // Env:   BBAL_MODEL (default Llama-7B), BBAL_EVAL_TOKENS (default 128),
 //        BBAL_SERVE_REQUESTS (default 8), BBAL_SERVE_NEW_TOKENS (default
 //        16), BBAL_SERVE_BATCH (default 4), BBAL_SERVE_PREFIX (default 8,
-//        shared-prefix only), BBAL_THREADS (--threads wins)
+//        shared-prefix only), BBAL_SERVE_FRONTIER_PREFIX (default 24,
+//        frontier sweep only), BBAL_THREADS (--threads wins)
+//
+// KV formats: --kv-format stores every engine's paged KV cache in the
+// named quant::KvFormat (see docs/KV_QUANT.md) — the ad-hoc/smoke path.
+// WITHOUT the flag, the strategy rows run the FP32 default and the tool
+// appends the committed accuracy/memory frontier: shared-prefix traffic
+// under the prefix-aware policy on the BBFP(4,2) matmul, one row per
+// storable KV format, so the default invocation reproduces every row of
+// BENCH_serve.json (the CI quick gate diffs the whole file).
 //
 // Workloads: "synthetic" (default) is the closed-loop PR-5 mix —
 // byte-exact with the pre-open-loop recorder; "shared-prefix" is the
@@ -40,6 +50,7 @@
 
 #include "bbal/registry.hpp"
 #include "common/threadpool.hpp"
+#include "quant/kv_codec.hpp"
 #include "serve/engine.hpp"
 #include "serve/load.hpp"
 #include "serve/policy.hpp"
@@ -63,6 +74,7 @@ int main(int argc, char** argv) {
   int threads_flag = 0;
   std::string policy = "fifo";
   std::string workload = "synthetic";
+  std::string kv_format;  ///< empty: FP32 rows + the committed frontier
   std::uint64_t seed = 2024;
   double rate = 0.05;
   for (int i = 1; i < argc; ++i) {
@@ -119,12 +131,25 @@ int main(int argc, char** argv) {
                      argv[i]);
         return 2;
       }
+    } else if (arg == "--kv-format") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "record_serve: --kv-format needs a value\n");
+        return 2;
+      }
+      kv_format = argv[++i];
+      const auto parsed = bbal::quant::KvFormat::parse(kv_format);
+      if (!parsed.is_ok()) {
+        std::fprintf(stderr, "record_serve: %s\n", parsed.message().c_str());
+        return 2;
+      }
+      kv_format = parsed.value().name();
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: record_serve [out.json] [--threads N] "
                    "[--policy fifo|sjf|prefix-aware] "
                    "[--workload synthetic|shared-prefix|poisson|bursty|"
-                   "trace=PATH] [--seed N] [--rate R]\n");
+                   "trace=PATH] [--seed N] [--rate R] "
+                   "[--kv-format FP32|INT8|BFP<m>|BBFP(<m>,<o>)]\n");
       return 0;
     } else if (arg.rfind("-", 0) == 0) {
       std::fprintf(stderr, "record_serve: unknown option \"%s\"\n",
@@ -217,6 +242,7 @@ int main(int argc, char** argv) {
     serve::Engine::Options options;
     options.max_batch = max_batch;
     options.policy = policy;
+    if (!kv_format.empty()) options.kv_format = kv_format;
     // Iso-area accelerators (Fig. 8's comparison rule) price the rows
     // whose strategy has a PE design.
     if (BackendRegistry::instance().has_cost_model(spec.value())) {
@@ -253,6 +279,66 @@ int main(int argc, char** argv) {
                  report.stream_hash,
                  static_cast<long long>(report.weights_bytes));
     rows.push_back(report.to_json());
+  }
+
+  // The committed accuracy/memory frontier: one shared-prefix run per
+  // storable KV format, all on the BBFP(4,2) matmul under the prefix-aware
+  // policy. Every engine serves the same traffic, so the rows differ only
+  // in how the pool stores K/V — kv_bytes_peak falls with the format while
+  // the stream hash records any token divergence. Skipped when --kv-format
+  // pins a format (the ad-hoc/smoke path records strategy rows only).
+  if (kv_format.empty()) {
+    const int frontier_prefix = env_int("BBAL_SERVE_FRONTIER_PREFIX", 24);
+    const auto frontier_requests = serve::shared_prefix_requests(
+        prepared->config, num_requests, frontier_prefix, /*suffix_len=*/4,
+        new_tokens, seed);
+    const std::string frontier_descriptor =
+        "shared-prefix(n=" + std::to_string(num_requests) +
+        ",prefix=" + std::to_string(frontier_prefix) +
+        ",seed=" + std::to_string(seed) + ")";
+    const auto frontier_spec =
+        quant::StrategySpec::parse("BBFP(4,2)").expect("BBFP(4,2)");
+    std::fprintf(stderr, "frontier: %zu requests [%s] under %zu KV formats\n",
+                 frontier_requests.size(), frontier_descriptor.c_str(),
+                 strategies.size());
+    for (const std::string& format : strategies) {
+      serve::Engine::Options options;
+      options.max_batch = max_batch;
+      options.policy = "prefix-aware";
+      options.kv_format = format;
+      auto cfg = accel::make_iso_area_config(frontier_spec,
+                                             /*pe_area_budget_um2=*/150000.0);
+      if (!cfg.is_ok()) {
+        std::fprintf(stderr, "  kv=%s: %s\n", format.c_str(),
+                     cfg.message().c_str());
+        return 1;
+      }
+      options.accelerator = std::move(cfg).value();
+      auto engine = serve::Engine::create(prepared, frontier_spec,
+                                          quant::StrategySpec::fp32(),
+                                          std::move(options));
+      if (!engine.is_ok()) {
+        std::fprintf(stderr, "  kv=%s: %s\n", format.c_str(),
+                     engine.message().c_str());
+        return 1;
+      }
+      for (const serve::Request& req : frontier_requests)
+        engine.value().submit(req);
+      serve::Report report = engine.value().run();
+      report.workload = frontier_descriptor;
+      if (report.completed != report.requests) {
+        std::fprintf(stderr, "  kv=%s: only %lld of %lld requests completed\n",
+                     format.c_str(), static_cast<long long>(report.completed),
+                     static_cast<long long>(report.requests));
+        return 1;
+      }
+      std::fprintf(stderr, "  kv=%s: %lld tokens, hash %u, kv peak %lld B\n",
+                   format.c_str(),
+                   static_cast<long long>(report.generated_tokens),
+                   report.stream_hash,
+                   static_cast<long long>(report.kv_bytes_peak));
+      rows.push_back(report.to_json());
+    }
   }
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
