@@ -1,0 +1,231 @@
+// Chunked-prefill study: what consuming prompts in (chunk x d_model)
+// chunks buys over the one-token-per-tick lockstep, and what it must NOT
+// cost — decode smoothness and bit-identity (docs/PREFILL.md walks
+// through every number printed here).
+//
+// The accelerator's decode-step cost is dominated by streaming the weight
+// matrices from DRAM, which is independent of the GEMM's M dimension
+// (accel::simulate_gemm). A prompt consumed one token per tick re-streams
+// every weight once per token; a chunk of C tokens streams them once per
+// C tokens — so TTFT in ticks falls from P to ceil(P/C) while each tick
+// barely gets more expensive. That amortisation is the physical content
+// of the TTFT gate below.
+//
+// Correctness gates (exit non-zero on failure):
+//  1. TTFT-in-ticks: a closed-loop request with a BBAL_PREFILL_LONG-token
+//     prompt served at chunk C reaches its first token within
+//     ceil(P/C) + 1 engine ticks of admission (first_token_tick -
+//     admit_tick; exact tick arithmetic, no tolerance).
+//  2. Bit-identity: the long-prompt open-loop mix served at chunk 1
+//     (legacy lockstep), chunk C and chunk 4C produces identical token
+//     streams and stream hashes — chunking is a scheduling change, never
+//     an arithmetic change (the decoder's per-row serial accumulations
+//     are position-indexed, not tick-indexed).
+//  3. Decode flatness: with the per-tick prefill budget engaged, the
+//     decode batch's p99 inter-token gap under the long-prompt mix stays
+//     within 1.25x the same engine's p99 on the short-prompt-only mix —
+//     streaming a long prompt in must not stall everyone else's decode.
+//
+// The frontier table sweeps the chunk size over the long-prompt mix
+// (budget = chunk): mean/p99 TTFT and p99 inter-token gap in simulated
+// seconds, mixed ticks, total ticks. All on the simulated clock —
+// bit-identical across hosts and BBAL_THREADS.
+//
+// Env: BBAL_MODEL (default Llama-7B), BBAL_EVAL_TOKENS (default 128),
+//      BBAL_SERVE_REQUESTS (default 8), BBAL_SERVE_NEW_TOKENS (default
+//      16), BBAL_SERVE_BATCH (default 4), BBAL_PREFILL_LONG (default 96,
+//      the long prompt length), BBAL_PREFILL_CHUNK (default 8, gate 1's
+//      C), BBAL_SERVE_LONG_EVERY (default 4), BBAL_THREADS.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bbal/registry.hpp"
+#include "common/table.hpp"
+#include "serve/engine.hpp"
+#include "serve/load.hpp"
+#include "serve/workload.hpp"
+
+namespace {
+
+using namespace bbal;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// The study's engine: BBFP(4,2) matmul on the iso-area accelerator,
+/// fifo admission, chunked prefill at (chunk, budget).
+serve::Engine make_engine(
+    const std::shared_ptr<const llm::PreparedModel>& prepared, int max_batch,
+    int chunk, int budget) {
+  serve::Engine::Options options;
+  options.max_batch = max_batch;
+  options.prefill_chunk = chunk;
+  options.prefill_budget = budget;
+  const auto spec = quant::StrategySpec::parse("BBFP(4,2)").expect("strategy");
+  options.accelerator =
+      accel::make_iso_area_config(spec, /*pe_area_budget_um2=*/150000.0)
+          .expect("iso-area config");
+  return serve::Engine::create(prepared, spec, quant::StrategySpec::fp32(),
+                               std::move(options))
+      .expect("engine");
+}
+
+serve::Report serve_mix(serve::Engine& engine,
+                        const std::vector<serve::Request>& requests) {
+  for (const serve::Request& req : requests) engine.submit(req);
+  return engine.run();
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Serving: chunked prefill — TTFT vs decode flatness");
+
+  const char* model_env = std::getenv("BBAL_MODEL");
+  const std::string model_name = model_env != nullptr ? model_env : "Llama-7B";
+  const int eval_tokens = env_int("BBAL_EVAL_TOKENS", 128);
+  const int num_requests = env_int("BBAL_SERVE_REQUESTS", 8);
+  const int new_tokens = env_int("BBAL_SERVE_NEW_TOKENS", 16);
+  const int max_batch = env_int("BBAL_SERVE_BATCH", 4);
+  const int long_prompt = env_int("BBAL_PREFILL_LONG", 96);
+  const int chunk = env_int("BBAL_PREFILL_CHUNK", 8);
+  const int long_every = env_int("BBAL_SERVE_LONG_EVERY", 4);
+
+  std::fprintf(stderr, "preparing %s (%d eval tokens)...\n",
+               model_name.c_str(), eval_tokens);
+  const auto prepared = prepare_shared(model_name, eval_tokens);
+
+  // The prompt-heavy open-loop mix every multi-request section serves:
+  // every long_every-th prompt is long_prompt tokens, Poisson arrivals.
+  std::vector<serve::Request> mix = serve::long_prompt_requests(
+      prepared->config, num_requests, /*base_prompt_len=*/12, long_prompt,
+      long_every, new_tokens);
+  {
+    serve::ArrivalSpec arrival;
+    arrival.kind = serve::ArrivalSpec::Kind::kPoisson;
+    arrival.rate = 0.05;
+    arrival.seed = 2024;
+    const auto ticks = serve::generate_arrivals(arrival, num_requests);
+    serve::stamp_arrivals(mix, ticks);
+  }
+
+  int failures = 0;
+
+  // --- Gate 1: TTFT in ticks for one long prompt ---
+  // Closed loop, one request, no contention: the prompt must be consumed
+  // in ceil(P/C) prefill ticks, the last of which emits the first token.
+  // The +1 leaves room for an admission tick; anything beyond that means
+  // the engine stopped chunking.
+  const int ttft_bound = (long_prompt + chunk - 1) / chunk + 1;
+  {
+    serve::Request lone;
+    lone.max_new_tokens = new_tokens;
+    lone.prompt = serve::long_prompt_requests(prepared->config, 1,
+                                              /*base_prompt_len=*/12,
+                                              long_prompt, /*long_every=*/1,
+                                              new_tokens)[0]
+                      .prompt;
+    serve::Engine engine =
+        make_engine(prepared, max_batch, chunk, /*budget=*/0);
+    const serve::Report report = serve_mix(engine, {lone});
+    const serve::RequestResult& result = report.results.front();
+    const std::int64_t ttft_ticks =
+        result.first_token_tick - result.admit_tick;
+    const bool ok = result.ok && result.first_token_tick >= 0 &&
+                    ttft_ticks <= ttft_bound;
+    std::printf("TTFT gate: %d-token prompt at chunk %d -> first token "
+                "%lld ticks after admission (bound %d): %s\n",
+                long_prompt, chunk, static_cast<long long>(ttft_ticks),
+                ttft_bound, ok ? "PASS" : "FAIL");
+    failures += ok ? 0 : 1;
+  }
+
+  // --- Gate 2: chunked streams are bit-identical to the lockstep ---
+  {
+    serve::Engine lockstep = make_engine(prepared, max_batch, 1, 0);
+    serve::Engine chunked = make_engine(prepared, max_batch, chunk, chunk);
+    serve::Engine wide = make_engine(prepared, max_batch, 4 * chunk,
+                                     4 * chunk);
+    const serve::Report base = serve_mix(lockstep, mix);
+    const serve::Report mid = serve_mix(chunked, mix);
+    const serve::Report big = serve_mix(wide, mix);
+    int mismatches = 0;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      if (mid.results[i].generated != base.results[i].generated ||
+          big.results[i].generated != base.results[i].generated) {
+        ++mismatches;
+        std::fprintf(stderr, "  request %zu: chunked stream diverged\n", i);
+      }
+    }
+    const bool ok = mismatches == 0 && mid.stream_hash == base.stream_hash &&
+                    big.stream_hash == base.stream_hash;
+    std::printf("Bit-identity gate: chunk 1 vs %d vs %d on the long-prompt "
+                "mix -> hashes %u / %u / %u: %s\n",
+                chunk, 4 * chunk, base.stream_hash, mid.stream_hash,
+                big.stream_hash, ok ? "PASS" : "FAIL");
+    failures += ok ? 0 : 1;
+  }
+
+  // --- Gate 3: decode p99 stays flat while long prompts stream in ---
+  // Same engine configuration on two mixes: with and without the long
+  // prompts (long_every = 0 keeps every prompt short). The budget bounds
+  // each tick's extra prefill work, and the accelerator's M-independent
+  // weight streaming makes a mixed tick cost about a decode tick — so the
+  // long mix's p99 inter-token gap must stay within 1.25x the short one's.
+  {
+    std::vector<serve::Request> short_mix = serve::long_prompt_requests(
+        prepared->config, num_requests, /*base_prompt_len=*/12, long_prompt,
+        /*long_every=*/0, new_tokens);
+    {
+      serve::ArrivalSpec arrival;
+      arrival.kind = serve::ArrivalSpec::Kind::kPoisson;
+      arrival.rate = 0.05;
+      arrival.seed = 2024;
+      const auto ticks = serve::generate_arrivals(arrival, num_requests);
+      serve::stamp_arrivals(short_mix, ticks);
+    }
+    serve::Engine with_long = make_engine(prepared, max_batch, chunk, chunk);
+    serve::Engine without = make_engine(prepared, max_batch, chunk, chunk);
+    const serve::Report long_report = serve_mix(with_long, mix);
+    const serve::Report short_report = serve_mix(without, short_mix);
+    const double ratio =
+        short_report.p99_inter_token_seconds > 0.0
+            ? long_report.p99_inter_token_seconds /
+                  short_report.p99_inter_token_seconds
+            : 0.0;
+    const bool ok = short_report.p99_inter_token_seconds > 0.0 &&
+                    ratio <= 1.25;
+    std::printf("Decode-flatness gate: p99 inter-token %.4gs with long "
+                "prompts vs %.4gs without (ratio %.3f, bound 1.25): %s\n",
+                long_report.p99_inter_token_seconds,
+                short_report.p99_inter_token_seconds, ratio,
+                ok ? "PASS" : "FAIL");
+    failures += ok ? 0 : 1;
+  }
+
+  // --- Frontier: chunk size vs TTFT and decode smoothness ---
+  std::printf("\nChunk sweep over the long-prompt mix (budget = chunk, "
+              "BBFP(4,2), batch %d):\n",
+              max_batch);
+  TextTable table({"Chunk", "Ticks", "Mixed", "TTFT ms", "p99 TTFT ms",
+                   "p99 ITL ms", "Hash"});
+  for (const int c : {1, 4, 8, 16, 32}) {
+    serve::Engine engine =
+        make_engine(prepared, max_batch, c, c > 1 ? c : 0);
+    const serve::Report report = serve_mix(engine, mix);
+    table.add_row({std::to_string(c), std::to_string(report.engine_steps),
+                   std::to_string(report.mixed_ticks),
+                   TextTable::num(report.ttft_mean_seconds * 1e3, 3),
+                   TextTable::num(report.p99_ttft_seconds * 1e3, 3),
+                   TextTable::num(report.p99_inter_token_seconds * 1e3, 3),
+                   std::to_string(report.stream_hash)});
+  }
+  table.print();
+
+  return failures == 0 ? 0 : 1;
+}

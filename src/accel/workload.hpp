@@ -46,6 +46,19 @@ struct NlOp {
 [[nodiscard]] std::vector<GemmShape> prefill_gemms(const llm::ModelConfig& cfg,
                                                    int seq);
 
+/// All GEMMs of one chunked-prefill step advancing a sequence by `chunk`
+/// positions from context length `base` (serve::Engine's mixed-tick
+/// pricing). Projections run fused at M = chunk — {chunk, d, 3d} QKV,
+/// {chunk, d, d} proj, {chunk, d, ff} gate/up, {chunk, ff, d} down — so
+/// the weight streaming that dominates the simulator's memory cycles is
+/// paid once per chunk instead of once per token; attention stays
+/// inherently per row, one {heads, dh, base+i+1} score and one
+/// {heads, base+i+1, dh} context GEMM per chunk position i (causal ragged
+/// contexts). With chunk == 1 the list is decode_step_gemms(cfg, base+1),
+/// shape for shape.
+[[nodiscard]] std::vector<GemmShape> prefill_chunk_gemms(
+    const llm::ModelConfig& cfg, int base, int chunk);
+
 /// Nonlinear ops of a prefill pass (seq softmaxes of average width seq/2
 /// per head per layer; seq SiLU rows).
 [[nodiscard]] std::vector<NlOp> prefill_nl_ops(const llm::ModelConfig& cfg,

@@ -13,6 +13,7 @@
 // construction (tested in test_paged_kv).
 #pragma once
 
+#include <cassert>
 #include <span>
 #include <vector>
 
@@ -44,15 +45,22 @@ struct KVCache {
 };
 
 /// Storage-agnostic access to one sequence's attention state. One decode
-/// step follows a strict protocol the implementations may rely on:
+/// step advances a sequence by n >= 1 new positions (n == 1 for decode,
+/// n == chunk for chunked prefill) and follows a strict protocol the
+/// implementations may rely on:
 ///
-///   1. length() is read once, before any append — it is the position the
-///      step writes to;
-///   2. append(l, k, v) is called exactly once per layer, layers in order
-///      0..n_layers-1, all with that same position;
-///   3. k_at/v_at are only called for layer l after append(l, ...), with
-///      pos <= the step's position, and the returned spans stay valid for
-///      the rest of the step (no reallocation mid-step).
+///   1. length() is read once, before any append — the first of the n
+///      positions the step writes is length(), the last length()+n-1;
+///   2. for each layer l in order 0..n_layers-1, append(l, pos, k, v) is
+///      called exactly once per new position, positions in increasing
+///      order starting at length(); every layer appends the same position
+///      set;
+///   3. k_at/v_at are only called for layer l after append(l, pos, ...),
+///      with pos <= the largest position appended for l so far, and the
+///      returned spans stay valid for the rest of the step (no
+///      reallocation mid-step);
+///   4. the n new positions commit to length() once the last layer's
+///      appends land.
 ///
 /// An implementation whose length() is derived from storage (e.g. the
 /// contiguous KVCacheRef below) may therefore report a transiently
@@ -62,8 +70,10 @@ class KVCacheView {
   virtual ~KVCacheView() = default;
   /// Positions cached so far (the context length before this step).
   [[nodiscard]] virtual int length() const = 0;
-  /// Store this step's K/V row for `layer` at position length().
-  virtual void append(int layer, std::span<const float> k_row,
+  /// Store this step's K/V row for `layer` at position `pos`. `pos` is
+  /// explicit (not derived from length()) because a chunked step appends
+  /// several positions per layer before any of them commit to length().
+  virtual void append(int layer, int pos, std::span<const float> k_row,
                       std::span<const float> v_row) = 0;
   /// Cached K/V row of `layer` at `pos` (d_model floats).
   [[nodiscard]] virtual std::span<const float> k_at(int layer,
@@ -79,8 +89,12 @@ class KVCacheRef final : public KVCacheView {
   explicit KVCacheRef(KVCache& cache) : cache_(cache) {}
 
   [[nodiscard]] int length() const override { return cache_.length(); }
-  void append(int layer, std::span<const float> k_row,
+  void append(int layer, int pos, std::span<const float> k_row,
               std::span<const float> v_row) override {
+    // Contiguous storage appends in position order by construction.
+    assert(pos ==
+           static_cast<int>(cache_.k[static_cast<std::size_t>(layer)].size()));
+    (void)pos;
     cache_.k[static_cast<std::size_t>(layer)].emplace_back(k_row.begin(),
                                                            k_row.end());
     cache_.v[static_cast<std::size_t>(layer)].emplace_back(v_row.begin(),
@@ -147,6 +161,38 @@ class Decoder {
   void step_batch(std::span<const int> tokens,
                   std::span<KVCacheView* const> views, Matrix& logits_out);
 
+  /// Grouped fused step — the mixed prefill/decode tick primitive. The
+  /// batch is split into views.size() groups: group g receives counts[g]
+  /// consecutive tokens (counts[g] >= 1) appended to views[g] at positions
+  /// length()..length()+counts[g]-1. All groups stack into ONE activation
+  /// matrix of sum(counts) rows, so each projection stays a single batched
+  /// GEMM whether a row is a decode step (count 1) or part of a prefill
+  /// chunk; attention is causal within a chunk — row i of a group attends
+  /// over positions 0..length()+i of its own view, reading the chunk's
+  /// earlier rows back through the view exactly as a later step would.
+  ///
+  /// logits_out is resized to (views.size() x vocab): one row per GROUP,
+  /// the logits after each group's LAST token (mid-chunk positions never
+  /// reach the LM head — a prompt's intermediate logits are discarded
+  /// anyway, so the vocab GEMM runs at M = groups, not M = total rows).
+  ///
+  /// Bit-identity: every output row of every projection is an independent
+  /// serial accumulation over the same floats a one-token-per-step run
+  /// would produce, and attention reads identical K/V floats in identical
+  /// order, so a chunked prefill stream is bit-identical to the unchunked
+  /// stream at any BBAL_THREADS (tested in test_decoder / test_serve).
+  /// step_batch is exactly this call with every count == 1.
+  void step_groups(std::span<const int> tokens,
+                   std::span<KVCacheView* const> views,
+                   std::span<const int> counts, Matrix& logits_out);
+
+  /// Chunked prefill of one sequence: feed tokens.size() prompt tokens
+  /// through `view` in one grouped step — one (chunk x d_model) GEMM per
+  /// projection instead of chunk M=1 steps. logits_out gets one row: the
+  /// logits after the final token of the chunk.
+  void prefill_chunk(std::span<const int> tokens, KVCacheView& view,
+                     Matrix& logits_out);
+
   /// A fresh, empty cache sized for this decoder's model.
   [[nodiscard]] KVCache make_cache() const;
 
@@ -165,7 +211,9 @@ class Decoder {
     Matrix attn_out;  ///< output projection
     Matrix gate, up, down;  ///< FFN activations
     Matrix logits;    ///< single-step logits (step() overloads)
+    Matrix last;      ///< gathered per-group last rows (LM head input)
     std::vector<int> pos;  ///< per-row write position, read pre-append
+    std::vector<int> ones;  ///< all-ones counts (step_batch forwarding)
     std::vector<std::span<const float>> krows, vrows;  ///< hoisted rows
     std::vector<float> scores;  ///< per-head attention scores
   };

@@ -48,6 +48,12 @@ Result<Engine> Engine::create(
   if (options.kv_pool_pages < 0)
     return R::error("kv_pool_pages must be >= 0 (0 = auto), got " +
                     std::to_string(options.kv_pool_pages));
+  if (options.prefill_chunk < 1)
+    return R::error("prefill_chunk must be >= 1, got " +
+                    std::to_string(options.prefill_chunk));
+  if (options.prefill_budget < 0)
+    return R::error("prefill_budget must be >= 0 (0 = uncapped), got " +
+                    std::to_string(options.prefill_budget));
   auto policy = make_policy(options.policy);
   if (!policy.is_ok()) return R::error(policy.message());
   auto kv_format = quant::KvFormat::parse(options.kv_format);
@@ -75,6 +81,8 @@ Result<Engine> Engine::create(
   engine.kv_format_ = kv_format.value();
   engine.kv_page_tokens_ = options.kv_page_tokens;
   engine.kv_pool_pages_ = options.kv_pool_pages;
+  engine.prefill_chunk_ = options.prefill_chunk;
+  engine.prefill_budget_ = options.prefill_budget;
 
   // Accelerator: same binding rule as Session — the engine's matmul
   // strategy drives the cost model, which must therefore exist.
@@ -155,6 +163,8 @@ Report Engine::run() {
   report.policy = std::string(policy_->name());
   report.kv_format = kv_format_.name();
   report.max_batch = max_batch();
+  report.prefill_chunk = prefill_chunk_;
+  report.prefill_budget = prefill_budget_;
   report.has_cost = accel_.has_value();
   report.has_slo = slo_.has_value();
   if (slo_) {
@@ -278,6 +288,9 @@ Report Engine::run() {
   // its high-water mark, the steady-state loop allocates nothing.
   std::vector<int> tick_tokens;
   std::vector<llm::KVCacheView*> tick_views;
+  std::vector<int> tick_counts;        ///< rows per view (step_groups)
+  std::vector<int> prefill_remaining;  ///< prompt tokens left, per flight
+  std::vector<int> prefill_grants;     ///< plan_prefill output, per flight
   llm::Matrix tick_logits;
   std::vector<double> token_latencies;   ///< simulated, per emitted token
   std::vector<double> inter_token_gaps;  ///< gaps between a request's tokens
@@ -365,13 +378,40 @@ Report Engine::run() {
     ++report.engine_steps;
     occupancy_sum += static_cast<std::int64_t>(active.size());
 
+    // --- Plan the tick's rows: every decoding flight steps one token;
+    // prefilling flights are granted up to prefill_chunk prompt tokens
+    // each under the tick-wide prefill_budget (serve::plan_prefill, FCFS
+    // in admission order — the SchedulerPolicy layer's pacing rule; see
+    // docs/PREFILL.md). A flight granted 0 sits the tick out. With the
+    // default chunk 1 / budget 0 every flight gets exactly one row — the
+    // legacy lockstep, byte-exact with the pre-chunking engine.
+    prefill_remaining.clear();
+    for (const InFlight& flight : active)
+      prefill_remaining.push_back(
+          static_cast<int>(requests[flight.request_index].prompt.size()) -
+          flight.prompt_pos);
+    plan_prefill(prefill_remaining, prefill_chunk_, prefill_budget_,
+                 prefill_grants);
+    bool tick_has_prefill = false;
+    bool tick_has_decode = false;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (prefill_remaining[i] > 0) {
+        active[i].tick_rows = prefill_grants[i];
+        tick_has_prefill |= prefill_grants[i] > 0;
+      } else {
+        active[i].tick_rows = 1;
+        tick_has_decode = true;
+      }
+    }
+    if (tick_has_prefill && tick_has_decode) ++report.mixed_ticks;
+
     // --- Reserve this tick's KV positions (serial; allocation and
     // copy-on-write happen here, so the fused step below only appends
     // into pre-reserved, per-sequence slots). A reservation failure —
     // only possible under an explicit undersized kv_pool_pages — retires
     // the request with an error instead of aborting.
     for (InFlight& flight : active) {
-      const Status reserved = kv.reserve_next(flight.seq);
+      const Status reserved = kv.reserve(flight.seq, flight.tick_rows);
       if (!reserved.is_ok()) {
         flight.failed = true;
         report.results[flight.request_index].error = reserved.message();
@@ -385,25 +425,33 @@ Report Engine::run() {
     });
     kv_pages_sum += kv.stats().pages_in_use;
 
-    // Price the tick before stepping it: each active request's decode
-    // step attends over (cached positions + 1) — the batch shares the
+    // Price the tick before stepping it: a decode row attends over
+    // (cached positions + 1); a prefill chunk prices its fused M=chunk
+    // projections plus per-row causal attention
+    // (accel::prefill_chunk_gemms — this is where chunking's simulated
+    // speedup physically comes from: weight streaming, the dominant
+    // memory-cycle term, is paid once per chunk). The batch shares the
     // accelerator, so the tick costs their combined workload. KV-cache
-    // traffic (ctx reads + 1 write of K and V rows per layer) is priced
-    // on the pool's SRAM macro.
+    // traffic (ctx reads + 1 write of K and V rows per layer, per row) is
+    // priced on the pool's SRAM macro.
     double tick_seconds = 0.0;
     if (accel_) {
       std::vector<accel::GemmShape> workload;
       std::int64_t kv_bytes = 0;
       for (const InFlight& flight : active) {
-        const int ctx = kv.length(flight.seq) + 1;
+        if (flight.tick_rows == 0) continue;
+        const int base = kv.length(flight.seq);
         std::vector<accel::GemmShape> step =
-            accel::decode_step_gemms(cfg, ctx);
+            flight.tick_rows == 1
+                ? accel::decode_step_gemms(cfg, base + 1)
+                : accel::prefill_chunk_gemms(cfg, base, flight.tick_rows);
         workload.insert(workload.end(),
                         std::make_move_iterator(step.begin()),
                         std::make_move_iterator(step.end()));
         // ctx reads + 1 write of K and V rows per layer, in packed bytes —
         // a quantised format moves proportionally less KV traffic.
-        kv_bytes += token_kv_bytes * (ctx + 1);
+        for (int i = 0; i < flight.tick_rows; ++i)
+          kv_bytes += token_kv_bytes * (base + i + 2);
       }
       const accel::RunStats stats = accel::simulate_workload(*accel_, workload);
       tick_seconds = stats.seconds;
@@ -418,39 +466,51 @@ Report Engine::run() {
                      kv_sram.access_pj() * 1e-12;
     }
 
-    // Advance every active request by one token in ONE fused forward:
-    // row i of the batch carries active[i]'s hidden state, each
-    // projection is a single batched GEMM (activations quantised once,
-    // rows tiled over the thread pool inside llm::matmul), and attention
-    // runs per sequence over its own view. Each row's arithmetic is
-    // bit-identical to an isolated M=1 step (independent per-row
-    // accumulators), so streams match the serial reference at any
-    // BBAL_THREADS.
+    // Advance the tick's whole row mix in ONE fused forward
+    // (Decoder::step_groups): a decoding flight contributes one row, a
+    // prefilling flight its granted chunk of consecutive prompt tokens.
+    // Each projection is a single batched GEMM over every row
+    // (activations quantised once, rows tiled over the thread pool inside
+    // llm::matmul), attention runs per sequence — causal within a chunk —
+    // and each row's arithmetic is bit-identical to an isolated M=1 step
+    // (independent per-row accumulators), so streams match the serial
+    // unchunked reference at any BBAL_THREADS and any chunk size.
     tick_tokens.clear();
     tick_views.clear();
+    tick_counts.clear();
     for (InFlight& flight : active) {
+      if (flight.tick_rows == 0) continue;  // budget passed it over
       const Request& req = requests[flight.request_index];
       const bool prefilling =
           flight.prompt_pos < static_cast<int>(req.prompt.size());
-      tick_tokens.push_back(
-          prefilling ? req.prompt[static_cast<std::size_t>(flight.prompt_pos)]
-                     : flight.last_token);
+      if (prefilling) {
+        for (int i = 0; i < flight.tick_rows; ++i)
+          tick_tokens.push_back(
+              req.prompt[static_cast<std::size_t>(flight.prompt_pos + i)]);
+      } else {
+        tick_tokens.push_back(flight.last_token);
+      }
       tick_views.push_back(&flight.view);
+      tick_counts.push_back(flight.tick_rows);
     }
-    decoder_->step_batch(tick_tokens, tick_views, tick_logits);
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      InFlight& flight = active[i];
+    decoder_->step_groups(tick_tokens, tick_views, tick_counts, tick_logits);
+    // One logits row per stepped flight (its group's last row).
+    int group = 0;
+    for (InFlight& flight : active) {
+      if (flight.tick_rows == 0) continue;
       const Request& req = requests[flight.request_index];
       RequestResult& out = report.results[flight.request_index];
       const int prompt_len = static_cast<int>(req.prompt.size());
-      if (flight.prompt_pos < prompt_len) ++flight.prompt_pos;
+      if (flight.prompt_pos < prompt_len)
+        flight.prompt_pos += flight.tick_rows;
       // The tick that consumes the final prompt token emits the first
       // generated token; every later tick emits one more.
       if (flight.prompt_pos == prompt_len) {
-        flight.last_token =
-            greedy_argmax(tick_logits.row(static_cast<int>(i)));
+        flight.last_token = greedy_argmax(tick_logits.row(group));
         out.generated.push_back(flight.last_token);
+        if (out.generated.size() == 1) out.first_token_tick = clock;
       }
+      ++group;
     }
     const double wall_now = seconds_since(run_start);
 
@@ -625,6 +685,14 @@ std::string Report::to_json() const {
   append_json_int(os, "requests", requests);
   append_json_int(os, "completed", completed);
   append_json_int(os, "max_batch", max_batch);
+  // Prefill block only when chunking is on: default-configured rows stay
+  // byte-exact with the pre-chunking engine (the correctness bar every
+  // committed BENCH_serve.json / BENCH_slo.json row is held to).
+  if (prefill_chunk != 1 || prefill_budget != 0) {
+    append_json_int(os, "prefill_chunk", prefill_chunk);
+    append_json_int(os, "prefill_budget", prefill_budget);
+    append_json_int(os, "mixed_ticks", mixed_ticks);
+  }
   append_json_int(os, "prompt_tokens", prompt_tokens);
   append_json_int(os, "generated_tokens", generated_tokens);
   append_json_int(os, "engine_steps", engine_steps);

@@ -14,17 +14,21 @@
 //   tick:  admit queued requests into free batch slots in the order the
 //          configured SchedulerPolicy picks (fifo / sjf / prefix-aware,
 //          see serve/policy.hpp),
-//          reserve one KV position per active request in the paged pool,
-//          advance every active request by one token in ONE fused
-//          Decoder::step_batch forward — the active hidden states are
-//          stacked into an (active_batch x d_model) matrix, so each
-//          projection is a single batched GEMM (activations quantised
-//          once, rows tiled over common::ThreadPool::global()) while
-//          attention stays per sequence (prompt tokens first — prefill —
-//          then greedy decode), and
-//          price the tick by replaying its combined decode-step GEMM
-//          workload on the accelerator model plus the tick's KV-cache
-//          traffic on an hw::sram macro (when one is attached).
+//          plan the tick's rows — every decoding flight steps one token;
+//          prefilling flights are granted up to prefill_chunk prompt
+//          tokens each under the tick-wide prefill_budget
+//          (serve::plan_prefill; docs/PREFILL.md),
+//          reserve each flight's granted KV positions in the paged pool,
+//          advance the whole mix in ONE fused Decoder::step_groups
+//          forward — decode rows and prefill-chunk rows stack into a
+//          single (rows x d_model) matrix, so each projection is one
+//          batched GEMM (activations quantised once, rows tiled over
+//          common::ThreadPool::global()) while attention stays per
+//          sequence and causal within a chunk, and
+//          price the tick by replaying its combined GEMM workload
+//          (decode_step_gemms / prefill_chunk_gemms) on the accelerator
+//          model plus the tick's KV-cache traffic on an hw::sram macro
+//          (when one is attached).
 //
 // Time is the engine's own simulated tick (one fused decode step = one
 // tick). A submitted request carrying an open-loop arrival_tick (see
@@ -118,6 +122,20 @@ class Engine {
     /// hold the SLO against, so create() rejects the combination. The
     /// report then carries goodput_under_slo and per-request slo_ok.
     std::optional<Slo> slo;
+    /// Prompt tokens a prefilling request may consume per tick, fed
+    /// through Decoder::step_groups as one chunk — one (chunk x d_model)
+    /// GEMM per projection instead of chunk single-token ticks (see
+    /// docs/PREFILL.md). 1 (the default) is the legacy one-token-per-tick
+    /// lockstep, byte-exact with the pre-chunking engine; streams are
+    /// bit-identical at any chunk size by construction.
+    int prefill_chunk = 1;
+    /// Cap on prefill tokens granted per tick across all flights
+    /// (serve::plan_prefill), bounding how much a tick of prompt
+    /// streaming can stretch the decode batch's inter-token gap. 0 (the
+    /// default) is uncapped: every prefilling flight takes a full chunk
+    /// every tick. The earliest prefilling flight always advances by at
+    /// least one token, so prefill can never starve.
+    int prefill_budget = 0;
   };
 
   /// Build an engine over a prepared model and a strategy pair. All
@@ -195,6 +213,10 @@ class Engine {
     PagedKVView view;
     int prompt_pos = 0;
     int last_token = -1;  ///< most recent generated token (decode input)
+    /// Rows this flight contributes to the current tick's fused step: 1
+    /// for a decode step, the granted chunk size while prefilling, 0 when
+    /// the tick's prefill budget passed it over (it sits the tick out).
+    int tick_rows = 0;
     bool registered = false;  ///< prompt prefix registered in the pool
     bool failed = false;      ///< KV reservation failed; retire with error
     double ttft_seconds = 0.0;
@@ -217,6 +239,8 @@ class Engine {
   int kv_page_tokens_ = 16;
   int kv_pool_pages_ = 0;
   int max_batch_ = 0;
+  int prefill_chunk_ = 1;
+  int prefill_budget_ = 0;
   // The one shared pipeline: backends (weights quantised once), the model
   // wired over them, and the batch-stepping decoder with its workspace.
   std::unique_ptr<llm::MatmulBackend> matmul_backend_;

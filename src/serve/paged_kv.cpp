@@ -177,22 +177,18 @@ void PagedKVPool::release(SeqId id) {
   seq.alive = false;
 }
 
-Status PagedKVPool::reserve_next(SeqId id) {
+Status PagedKVPool::reserve(SeqId id, int count) {
   Sequence& seq = sequences_[static_cast<std::size_t>(id)];
   assert(seq.alive);
+  if (count <= 0) return Status::ok();
   const int slot = seq.length % options_.page_tokens;
-  if (slot == 0) {
-    // Page boundary: the next append opens a fresh page.
-    auto page = allocate_page();
-    if (!page.is_ok()) return page.status();
-    seq.pages.push_back(page.value());
-    return Status::ok();
-  }
-  const int tail = seq.pages.back();
-  if (pages_[static_cast<std::size_t>(tail)].refs > 1) {
-    // Copy-on-write: the tail is shared (fork or registered prefix); give
-    // this sequence a private copy of the filled slots before it diverges.
-    // Encoded bytes copy verbatim — no re-quantisation on the copy path.
+  if (slot != 0 && pages_[static_cast<std::size_t>(seq.pages.back())].refs >
+                       1) {
+    // Copy-on-write: the tail holds filled slots, is shared (fork or
+    // registered prefix), and the first of the `count` appends lands in
+    // it; give this sequence a private copy before it diverges. Encoded
+    // bytes copy verbatim — no re-quantisation on the copy path.
+    const int tail = seq.pages.back();
     auto fresh = allocate_page();
     if (!fresh.is_ok()) return fresh.status();
     Page& dst = pages_[static_cast<std::size_t>(fresh.value())];
@@ -202,6 +198,26 @@ Status PagedKVPool::reserve_next(SeqId id) {
     unref_page(tail);
     seq.pages.back() = fresh.value();
     ++stats_.page_copies;
+  }
+  // One fresh page per boundary the new positions cross. Sized off the
+  // page table, not the length, so a reservation that outlived its step
+  // (engine failure paths) is never double-counted.
+  const int needed = pages_for(seq.length + count) -
+                     static_cast<int>(seq.pages.size());
+  for (int added = 0; added < needed; ++added) {
+    auto page = allocate_page();
+    if (!page.is_ok()) {
+      // Roll back this call's fresh pages: exhaustion mid-reservation
+      // must leave the sequence exactly as it was (the engine retires the
+      // request and releases the sequence; a half-grown page table would
+      // corrupt the length/page invariant).
+      for (int undo = 0; undo < added; ++undo) {
+        unref_page(seq.pages.back());
+        seq.pages.pop_back();
+      }
+      return page.status();
+    }
+    seq.pages.push_back(page.value());
   }
   return Status::ok();
 }
@@ -307,14 +323,20 @@ PagedKVView::DecodedPage& PagedKVView::decoded_page(int page_index) const {
   return dp;
 }
 
-void PagedKVView::append(int layer, std::span<const float> k_row,
+void PagedKVView::append(int layer, int pos, std::span<const float> k_row,
                          std::span<const float> v_row) {
   PagedKVPool::Sequence& seq =
       pool_->sequences_[static_cast<std::size_t>(id_)];
-  const int slot = seq.length % pool_->options_.page_tokens;
-  const int page_index = seq.length / pool_->options_.page_tokens;
-  PagedKVPool::Page& page =
-      pool_->pages_[static_cast<std::size_t>(seq.pages.back())];
+  // `pos` may sit up to chunk-1 positions past the committed length (the
+  // later rows of a chunked step); reserve() already grew the page table
+  // to cover it.
+  assert(pos >= seq.length &&
+         pos / pool_->options_.page_tokens <
+             static_cast<int>(seq.pages.size()));
+  const int slot = pos % pool_->options_.page_tokens;
+  const int page_index = pos / pool_->options_.page_tokens;
+  PagedKVPool::Page& page = pool_->pages_[static_cast<std::size_t>(
+      seq.pages[static_cast<std::size_t>(page_index)])];
   const std::size_t off = pool_->row_offset(layer, slot);
   const std::size_t row_bytes = pool_->codec_.encoded_row_bytes();
   pool_->codec_.encode_row(
@@ -333,10 +355,13 @@ void PagedKVView::append(int layer, std::span<const float> k_row,
   pool_->codec_.decode_row(
       std::span<const std::uint8_t>(page.v.data() + off, row_bytes),
       std::span<float>(dp.v.data() + dst, d_model));
-  // The step's position is committed once the last layer's row lands; the
-  // counter is this sequence's own state, so a parallel tick stepping
-  // other sequences never contends on it.
+  // A position is committed once the last layer's row lands. The last
+  // layer's appends arrive in position order (KVCacheView protocol), so
+  // each one extends the length by exactly one; the counter is this
+  // sequence's own state, so a parallel tick stepping other sequences
+  // never contends on it.
   if (layer == pool_->config_.n_layers - 1) {
+    assert(pos == seq.length);
     ++seq.length;
     if (dp.slots == slot) dp.slots = slot + 1;
   }

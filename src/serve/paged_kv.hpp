@@ -113,12 +113,19 @@ class PagedKVPool {
   /// return to the free list (registered prefixes keep their own refs).
   void release(SeqId id);
 
-  /// Guarantee capacity for one append: allocates a tail page on a page
-  /// boundary, copies a shared tail page (copy-on-write). Exhaustion first
-  /// evicts registered prefix entries (oldest use first) and then — if the
-  /// pool is still full — returns an error. Must precede the append(s) of
-  /// each decode step; the engine calls it serially before a tick.
-  [[nodiscard]] Status reserve_next(SeqId id);
+  /// Guarantee capacity for `count` appended positions: copies a shared
+  /// tail page first (copy-on-write — only when the sequence will append
+  /// into it), then allocates one fresh page per page boundary the new
+  /// positions cross. Exhaustion first evicts registered prefix entries
+  /// (oldest use first) and then — if the pool is still full — returns an
+  /// error, rolling back this call's fresh allocations so the sequence's
+  /// page table and length are unchanged (a completed tail copy stands:
+  /// same bytes, now private). Must precede the append(s) of each step;
+  /// the engine calls it serially before a tick.
+  [[nodiscard]] Status reserve(SeqId id, int count);
+
+  /// reserve() of a single position — the decode-step case.
+  [[nodiscard]] Status reserve_next(SeqId id) { return reserve(id, 1); }
 
   // --- Prompt-prefix sharing (serial-only) ----------------------------------
 
@@ -213,9 +220,11 @@ class PagedKVPool {
 };
 
 /// llm::KVCacheView over one pool sequence: what Decoder::step reads and
-/// writes in the paged serving path. Append assumes reserve_next() was
-/// called for the step (the engine's tick protocol) and advances the
-/// sequence length after the last layer's row lands.
+/// writes in the paged serving path. Append assumes reserve() covered the
+/// step's positions (the engine's tick protocol); the appended positions
+/// commit to the sequence length as the last layer's rows land, in
+/// position order — so a chunked step's n positions become readable
+/// history exactly when the KVCacheView protocol says they must.
 ///
 /// Because pages hold packed bytes, the view owns a per-page decode cache:
 /// k_at/v_at return spans into page-sized float buffers filled lazily from
@@ -235,7 +244,7 @@ class PagedKVView final : public llm::KVCacheView {
       : pool_(&pool), id_(id) {}
 
   [[nodiscard]] int length() const override;
-  void append(int layer, std::span<const float> k_row,
+  void append(int layer, int pos, std::span<const float> k_row,
               std::span<const float> v_row) override;
   [[nodiscard]] std::span<const float> k_at(int layer,
                                             int pos) const override;

@@ -104,6 +104,27 @@ class PrefixAwarePolicy final : public SchedulerPolicy {
 
 }  // namespace
 
+void plan_prefill(std::span<const int> remaining, int chunk, int budget,
+                  std::vector<int>& grants) {
+  grants.assign(remaining.size(), 0);
+  int budget_left = budget > 0 ? budget : -1;  // -1: uncapped
+  bool first = true;
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    if (remaining[i] <= 0) continue;
+    int grant = std::min(remaining[i], chunk);
+    if (budget_left >= 0) {
+      grant = std::min(grant, budget_left);
+      // Liveness: the earliest prefilling flight always advances, so a
+      // tick with no decode rows still makes progress under any budget.
+      if (first) grant = std::max(grant, 1);
+      budget_left -= grant;
+      if (budget_left < 0) budget_left = 0;
+    }
+    grants[i] = grant;
+    first = false;
+  }
+}
+
 Result<std::unique_ptr<SchedulerPolicy>> make_policy(std::string_view name) {
   using R = Result<std::unique_ptr<SchedulerPolicy>>;
   if (name == "fifo") return R(std::make_unique<FifoPolicy>());

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <deque>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,6 +60,24 @@ class SchedulerPolicy {
                                  const std::vector<std::size_t>& prefilling,
                                  const PagedKVPool& pool) const = 0;
 };
+
+/// Split one mixed tick's prefill-token budget across the active flights
+/// (chunked prefill, Sarathi-style): flight i of the tick has
+/// remaining[i] prompt tokens left to consume (0 for flights already
+/// decoding) and is granted min(remaining, chunk) tokens, admission order
+/// first-come-first-served, until `budget` prefill tokens are granted
+/// (budget <= 0 means uncapped). The earliest still-prefilling flight is
+/// always granted at least one token, so a tick of pure prefill traffic
+/// can never stall even under a sub-chunk budget. Decode rows are not
+/// budgeted — every decoding flight steps every tick, which is what keeps
+/// inter-token latency flat while long prompts stream in.
+///
+/// Shared by every SchedulerPolicy: pacing must not change token streams
+/// (policies only reorder admission; see the bit-identity contract), so
+/// the plan is a pure deterministic function of (remaining, chunk,
+/// budget). grants is resized to remaining.size(), reusing its storage.
+void plan_prefill(std::span<const int> remaining, int chunk, int budget,
+                  std::vector<int>& grants);
 
 /// Resolve a policy by name ("fifo", "sjf", "prefix-aware"; case matters).
 /// Unknown names are reportable errors, never aborts.

@@ -55,6 +55,11 @@ struct RequestResult {
   std::int64_t arrival_tick = 0;  ///< as submitted
   std::int64_t admit_tick = 0;    ///< engine clock when a slot was granted
   std::int64_t queue_ticks = 0;   ///< admit_tick - arrival_tick
+  /// Engine clock at the first generated token (-1 until it exists): the
+  /// tick-domain TTFT — with chunked prefill a prompt of P tokens costs
+  /// about ceil(P/chunk) ticks instead of P (bench_prefill's gate).
+  /// Clock-exact and deterministic; not serialised in BENCH rows.
+  std::int64_t first_token_tick = -1;
   /// Largest simulated gap between consecutive generated tokens — the
   /// stall a streaming client would notice (0 until the second token).
   double max_inter_token_seconds = 0.0;
@@ -98,6 +103,12 @@ struct Report {
   /// traffic that produced it.
   std::string workload;
   int max_batch = 0;
+  /// Chunked-prefill configuration of the run (Engine::Options). Emitted
+  /// in to_json() only when chunking is on (prefill_chunk > 1 or a
+  /// budget is set), so default-configured BENCH rows stay byte-exact
+  /// with the pre-chunking engine.
+  int prefill_chunk = 1;
+  int prefill_budget = 0;
   bool has_cost = false;  ///< simulated timing fields are meaningful
   bool has_slo = false;   ///< an Slo was configured (and has_cost holds)
 
@@ -112,6 +123,10 @@ struct Report {
   /// arrival. engine_steps == clock_ticks on a closed-loop run; the gap
   /// between them is time the engine sat idle waiting for traffic.
   std::int64_t clock_ticks = 0;
+  /// Ticks whose fused step carried both prefill rows and decode rows —
+  /// the interleaving chunked-prefill scheduling exists to create.
+  /// Deterministic; emitted in to_json() with the prefill block.
+  std::int64_t mixed_ticks = 0;
   /// Mean number of active requests per tick (batching effectiveness).
   double mean_batch_occupancy = 0.0;
 

@@ -57,6 +57,32 @@ std::vector<Request> shared_prefix_requests(const llm::ModelConfig& config,
   return requests;
 }
 
+std::vector<Request> long_prompt_requests(const llm::ModelConfig& config,
+                                          int count, int base_prompt_len,
+                                          int long_prompt_len, int long_every,
+                                          int max_new_tokens,
+                                          std::uint64_t seed) {
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Rng rng(seed ^ (static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull));
+    Request req;
+    req.max_new_tokens = max_new_tokens;
+    // The long prompts land mid-stream (index long_every-1, not 0), so a
+    // decode batch is already running when the first one starts streaming
+    // in — the interference case the decode-flatness gate measures.
+    const bool is_long = long_every > 0 && i % long_every == long_every - 1;
+    const int prompt_len =
+        is_long ? long_prompt_len : base_prompt_len + 2 * (i % 5);
+    req.prompt.reserve(static_cast<std::size_t>(prompt_len));
+    for (int t = 0; t < prompt_len; ++t)
+      req.prompt.push_back(
+          static_cast<int>(rng.uniform_int(0, config.vocab - 1)));
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
 std::vector<int> reference_decode(llm::Decoder& decoder,
                                   const Request& request) {
   llm::KVCache cache = decoder.make_cache();

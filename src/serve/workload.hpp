@@ -45,6 +45,19 @@ namespace bbal::serve {
     const llm::ModelConfig& config, int count, int prefix_len,
     int suffix_len = 4, int max_new_tokens = 16, std::uint64_t seed = 2024);
 
+/// The prompt-heavy mix chunked prefill targets: `count` requests where
+/// every `long_every`-th one (i % long_every == long_every - 1) carries a
+/// long_prompt_len-token prompt and the rest keep the synthetic mix's
+/// short staggered lengths (base_prompt_len + 2*(i % 5)). Token streams
+/// draw from Rng(seed ^ i-mix) like synthetic_requests, so a request's
+/// prompt depends only on its index — not on which bucket its neighbours
+/// fall in. Arrival stamping is the caller's job (serve::load). Pure
+/// function of its arguments.
+[[nodiscard]] std::vector<Request> long_prompt_requests(
+    const llm::ModelConfig& config, int count, int base_prompt_len = 12,
+    int long_prompt_len = 96, int long_every = 4, int max_new_tokens = 16,
+    std::uint64_t seed = 2024);
+
 /// Reference path: decode one request alone, on a fresh backend pair
 /// (`matmul` + FP32 nonlinear), greedy sampling — the stream a batched
 /// Engine run must reproduce bit for bit (bench_serve_throughput and

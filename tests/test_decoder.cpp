@@ -7,6 +7,8 @@
 // shared pipeline rests on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -211,6 +213,132 @@ TEST(DecoderBatch, MatchesIndependentStepsSingleThread) {
 TEST(DecoderBatch, MatchesIndependentStepsFourThreads) {
   for (const std::string& strategy : kBatchStrategies)
     expect_step_batch_matches_steps(strategy, 4);
+}
+
+// --- Chunked prefill ---------------------------------------------------------
+
+/// Consume a prompt whose length does NOT divide the chunk size through
+/// prefill_chunk (full chunks then a ragged tail), and require (a) each
+/// chunk's logits row to be bit-identical to the serial step() logits at
+/// that chunk's last position, and (b) decode to continue bit-identically
+/// from the chunk-filled cache — chunking is a scheduling change, never
+/// an arithmetic change.
+void expect_prefill_chunk_matches_steps(const std::string& strategy,
+                                        int chunk, int threads) {
+  const ThreadCountGuard guard(threads);
+  const ModelConfig config = tiny_config();
+  const TransformerWeights weights = generate_weights(config);
+  auto mm = bbal::BackendRegistry::instance()
+                .make_matmul(quant::spec_of(strategy))
+                .expect("matmul backend");
+  Fp32NonlinearBackend nl;
+  Transformer model(config, weights, *mm, nl);
+  Decoder fused(model);
+  Decoder reference(model);
+
+  const std::vector<int> prompt = {3, 17, 42, 9, 9, 60, 1, 5, 4, 3, 33};
+  ASSERT_NE(static_cast<int>(prompt.size()) % chunk, 0);
+  KVCache cache = fused.make_cache();
+  KVCache ref_cache = reference.make_cache();
+  std::vector<std::vector<float>> ref_logits;
+  for (const int t : prompt)
+    ref_logits.push_back(reference.step(t, ref_cache));
+
+  Matrix logits;
+  KVCacheRef view(cache);
+  std::size_t consumed = 0;
+  while (consumed < prompt.size()) {
+    const std::size_t n =
+        std::min(static_cast<std::size_t>(chunk), prompt.size() - consumed);
+    fused.prefill_chunk(std::span<const int>(prompt).subspan(consumed, n),
+                        view, logits);
+    ASSERT_EQ(logits.rows(), 1);
+    ASSERT_EQ(logits.cols(), config.vocab);
+    consumed += n;
+    const std::span<const float> row = logits.row(0);
+    ASSERT_EQ(std::vector<float>(row.begin(), row.end()),
+              ref_logits[consumed - 1])
+        << strategy << " after " << consumed << " prompt tokens at "
+        << threads << " threads";
+  }
+  EXPECT_EQ(cache.length(), static_cast<int>(prompt.size()));
+
+  for (const int t : {7, 21}) {
+    ASSERT_EQ(fused.step(t, cache), reference.step(t, ref_cache))
+        << strategy << " decode after chunked prefill";
+  }
+}
+
+TEST(DecoderPrefill, ChunkMatchesSerialStepsSingleThread) {
+  for (const std::string& strategy : kBatchStrategies)
+    expect_prefill_chunk_matches_steps(strategy, /*chunk=*/4, 1);
+}
+
+TEST(DecoderPrefill, ChunkMatchesSerialStepsFourThreads) {
+  for (const std::string& strategy : kBatchStrategies)
+    expect_prefill_chunk_matches_steps(strategy, /*chunk=*/4, 4);
+}
+
+TEST(DecoderPrefill, WholePromptAsOneChunkMatches) {
+  for (const std::string& strategy : kBatchStrategies)
+    expect_prefill_chunk_matches_steps(strategy, /*chunk=*/7, 1);
+}
+
+TEST(DecoderGroups, MixedPrefillAndDecodeRowsMatchSerial) {
+  // One fused call per tick carrying a 3-token prefill chunk for X and a
+  // single decode row for Y — the engine's mixed tick. Every group's
+  // logits row must match its own sequence stepped alone.
+  for (const std::string& strategy : {std::string("FP32"),
+                                      std::string("BBFP(4,2)")}) {
+    const ModelConfig config = tiny_config();
+    const TransformerWeights weights = generate_weights(config);
+    auto mm = bbal::BackendRegistry::instance()
+                  .make_matmul(quant::spec_of(strategy))
+                  .expect("matmul backend");
+    Fp32NonlinearBackend nl;
+    Transformer model(config, weights, *mm, nl);
+    Decoder fused(model);
+    Decoder reference(model);
+
+    const std::vector<int> x_prompt = {8, 6, 7, 5, 30, 9, 11, 2, 35};
+    const std::vector<int> y_tokens = {41, 1, 27};
+    KVCache x = fused.make_cache();
+    KVCache y = fused.make_cache();
+    KVCache ref_x = reference.make_cache();
+    KVCache ref_y = reference.make_cache();
+
+    // Y already has context when X's prompt starts streaming in.
+    ASSERT_EQ(fused.step(13, y), reference.step(13, ref_y));
+
+    std::vector<std::vector<float>> ref_x_logits;
+    for (const int t : x_prompt)
+      ref_x_logits.push_back(reference.step(t, ref_x));
+
+    Matrix logits;
+    for (std::size_t tick = 0; tick < y_tokens.size(); ++tick) {
+      const std::size_t base = tick * 3;
+      std::vector<int> tokens(x_prompt.begin() + base,
+                              x_prompt.begin() + base + 3);
+      tokens.push_back(y_tokens[tick]);
+      KVCacheRef vx(x), vy(y);
+      std::vector<KVCacheView*> views = {&vx, &vy};
+      const std::vector<int> counts = {3, 1};
+      fused.step_groups(tokens, views, counts, logits);
+      ASSERT_EQ(logits.rows(), 2);
+
+      const std::span<const float> x_row = logits.row(0);
+      ASSERT_EQ(std::vector<float>(x_row.begin(), x_row.end()),
+                ref_x_logits[base + 2])
+          << strategy << " X chunk ending at " << base + 2;
+      const std::vector<float> y_expected =
+          reference.step(y_tokens[tick], ref_y);
+      const std::span<const float> y_row = logits.row(1);
+      ASSERT_EQ(std::vector<float>(y_row.begin(), y_row.end()), y_expected)
+          << strategy << " Y decode at tick " << tick;
+    }
+    EXPECT_EQ(x.length(), static_cast<int>(x_prompt.size()));
+    EXPECT_EQ(y.length(), 1 + static_cast<int>(y_tokens.size()));
+  }
 }
 
 TEST(DecoderBatch, EmptyBatchIsANoOp) {

@@ -47,13 +47,37 @@ void append_position(PagedKVPool& pool, PagedKVPool::SeqId id, float tag) {
   ASSERT_TRUE(pool.reserve_next(id).is_ok());
   PagedKVView view(pool, id);
   const int d = tiny_config().d_model;
-  const float base = tag + static_cast<float>(view.length());
+  const int pos = view.length();
+  const float base = tag + static_cast<float>(pos);
   for (int l = 0; l < tiny_config().n_layers; ++l) {
     std::vector<float> k(static_cast<std::size_t>(d),
                          base + 0.25f * static_cast<float>(l));
     std::vector<float> v(static_cast<std::size_t>(d),
                          -base - 0.25f * static_cast<float>(l));
-    view.append(l, k, v);
+    view.append(l, pos, k, v);
+  }
+}
+
+/// Append `count` positions as ONE chunk through the layer-major protocol
+/// Decoder::step_groups uses: every new position at layer 0, then layer 1,
+/// ... with positions committing to length() as the last layer's rows land
+/// in position order. Exercises reserve(id, count) + position-explicit
+/// append exactly the way a prefill chunk does.
+void append_chunk(PagedKVPool& pool, PagedKVPool::SeqId id, int count,
+                  float tag) {
+  ASSERT_TRUE(pool.reserve(id, count).is_ok());
+  PagedKVView view(pool, id);
+  const int d = tiny_config().d_model;
+  const int base_pos = view.length();
+  for (int l = 0; l < tiny_config().n_layers; ++l) {
+    for (int i = 0; i < count; ++i) {
+      const float base = tag + static_cast<float>(base_pos + i);
+      std::vector<float> k(static_cast<std::size_t>(d),
+                           base + 0.25f * static_cast<float>(l));
+      std::vector<float> v(static_cast<std::size_t>(d),
+                           -base - 0.25f * static_cast<float>(l));
+      view.append(l, base_pos + i, k, v);
+    }
   }
 }
 
@@ -200,6 +224,67 @@ TEST(PagedKVPool, ExhaustionIsAStatusErrorAndEvictionRecovers) {
   EXPECT_EQ(pool.stats().pages_in_use, 1);
 }
 
+TEST(PagedKVPool, ChunkReserveCopiesSharedTailAndCrossesPages) {
+  PagedKVPool pool(tiny_config(), small_pool(4, 8));
+  const auto a = pool.create();
+  for (int i = 0; i < 6; ++i) append_position(pool, a, 100.0f);
+  const auto b = pool.fork(a);
+  EXPECT_EQ(pool.page_refcount(a, 5), 2);
+
+  const PagedKVView vb(pool, b);
+  const float before = vb.k_at(0, 5).front();
+
+  // One reserve for a 5-position chunk: copy-on-write the shared half-full
+  // tail page first, then allocate a fresh page for the boundary crossing
+  // (positions 8..10) — a prefill chunk spanning a page edge.
+  append_chunk(pool, a, 5, 111.0f);
+  EXPECT_EQ(pool.length(a), 11);
+  EXPECT_EQ(pool.stats().page_copies, 1);
+  EXPECT_EQ(pool.page_refcount(a, 5), 1);
+  // b's view of the shared rows is untouched, and every chunk position
+  // reads back from whichever page it landed on.
+  EXPECT_EQ(vb.k_at(0, 5).front(), before);
+  EXPECT_EQ(pool.length(b), 6);
+  const PagedKVView va(pool, a);
+  for (int pos = 6; pos < 11; ++pos)
+    EXPECT_EQ(va.k_at(0, pos).front(), 111.0f + static_cast<float>(pos))
+        << "chunk position " << pos;
+}
+
+TEST(PagedKVPool, ChunkReserveRollsBackAllocationsOnExhaustion) {
+  PagedKVPool pool(tiny_config(), small_pool(4, 3));
+  const auto a = pool.create();
+  for (int i = 0; i < 4; ++i) append_position(pool, a, 100.0f);
+  // 9 more positions need 3 fresh pages; only 2 exist. The reserve fails
+  // as a Status, and the pages it DID allocate are rolled back — a failed
+  // chunk reservation must not leak capacity.
+  const Status overflow = pool.reserve(a, 9);
+  ASSERT_FALSE(overflow.is_ok());
+  EXPECT_EQ(pool.length(a), 4);
+  EXPECT_EQ(pool.stats().pages_in_use, 1);
+  // The rolled-back pages are immediately reusable by a chunk that fits.
+  append_chunk(pool, a, 8, 200.0f);
+  EXPECT_EQ(pool.length(a), 12);
+  EXPECT_EQ(pool.stats().pages_in_use, 3);
+}
+
+TEST(PagedKVPool, CowFailureDuringReserveLeavesSequencesIntact) {
+  PagedKVPool pool(tiny_config(), small_pool(4, 1));
+  const auto a = pool.create();
+  append_position(pool, a, 100.0f);
+  append_position(pool, a, 100.0f);
+  const auto b = pool.fork(a);
+  // Appending into the shared tail needs a copy, and the pool has no page
+  // for it: the reserve is an error before any mutation happens.
+  const Status st = pool.reserve(a, 1);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(pool.stats().page_copies, 0);
+  EXPECT_EQ(pool.length(a), 2);
+  EXPECT_EQ(pool.length(b), 2);
+  const PagedKVView va(pool, a);
+  EXPECT_EQ(va.k_at(0, 1).front(), 101.0f);
+}
+
 TEST(PagedKVPool, PackedPageBytesShrinkWithTheFormat) {
   const auto bytes_for = [](const char* name) {
     PagedKVPool::Options options = small_pool(4, 8);
@@ -236,7 +321,7 @@ TEST(PagedKVView, QuantisedAppendsDecodeToTheQuantiseReference) {
         v[static_cast<std::size_t>(i)] =
             -1.3f * static_cast<float>(pos + 1) + 0.05f * static_cast<float>(i);
       }
-      writer.append(l, k, v);
+      writer.append(l, pos, k, v);
       // The reference the codec must reproduce: quantise() over doubles,
       // narrowed to float exactly as the decode path narrows.
       const std::vector<double> wide(k.begin(), k.end());

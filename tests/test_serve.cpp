@@ -23,6 +23,7 @@
 #include "bbal/session.hpp"
 #include "common/threadpool.hpp"
 #include "serve/engine.hpp"
+#include "serve/load.hpp"
 #include "serve/policy.hpp"
 #include "serve/workload.hpp"
 
@@ -453,6 +454,154 @@ TEST(ServeEngine, WeightsAreHeldOnceRegardlessOfBatchWidth) {
   EXPECT_EQ(wide_report.weights_bytes, wide.weights_bytes());
   EXPECT_NE(wide_report.to_json().find("\"weights_bytes\""),
             std::string::npos);
+}
+
+serve::Engine make_chunked_engine(int max_batch, int chunk, int budget,
+                                  bool with_accelerator = false) {
+  serve::Engine::Options options;
+  options.max_batch = max_batch;
+  options.prefill_chunk = chunk;
+  options.prefill_budget = budget;
+  if (with_accelerator) {
+    accel::AcceleratorConfig cfg;
+    cfg.array_rows = cfg.array_cols = 8;
+    options.accelerator = cfg;
+  }
+  return serve::Engine::create(tiny_model(), quant::spec_of("BBFP(4,2)"),
+                               quant::StrategySpec::fp32(),
+                               std::move(options))
+      .expect("engine");
+}
+
+TEST(ServePrefill, ChunkedStreamsMatchLockstepAtAnyThreadCount) {
+  // Prompt lengths that do NOT divide the chunk (long prompts of 23 over
+  // chunk 5), mixed with short decoding neighbours. Chunking is pure
+  // scheduling: every stream — and the hash — must match the lockstep
+  // engine's and the serial references, at 1 and 4 threads.
+  const auto prepared = tiny_model();
+  const std::vector<serve::Request> requests = serve::long_prompt_requests(
+      prepared->config, /*count=*/6, /*base_prompt_len=*/5,
+      /*long_prompt_len=*/23, /*long_every=*/3, /*max_new_tokens=*/6);
+
+  std::vector<std::vector<int>> references;
+  for (const serve::Request& req : requests)
+    references.push_back(serve::reference_decode(
+        *prepared, quant::spec_of("BBFP(4,2)"), req));
+
+  for (const int threads : {1, 4}) {
+    common::ThreadPool::set_global_threads(threads);
+    serve::Engine lockstep = make_chunked_engine(/*max_batch=*/3, 1, 0);
+    serve::Engine chunked = make_chunked_engine(/*max_batch=*/3, 5, 5);
+    for (const serve::Request& req : requests) {
+      lockstep.submit(req);
+      chunked.submit(req);
+    }
+    const serve::Report base = lockstep.run();
+    const serve::Report report = chunked.run();
+    common::ThreadPool::set_global_threads(common::ThreadPool::env_threads());
+
+    ASSERT_EQ(report.completed, base.completed) << threads << " threads";
+    EXPECT_EQ(report.stream_hash, base.stream_hash) << threads << " threads";
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(report.results[i].generated, references[i])
+          << "request " << i << " at " << threads << " threads";
+      EXPECT_EQ(base.results[i].generated, references[i])
+          << "lockstep request " << i << " at " << threads << " threads";
+    }
+    // The chunked engine really interleaved and really went faster in
+    // ticks: long prompts are consumed 5 positions at a time.
+    EXPECT_GT(report.mixed_ticks, 0);
+    EXPECT_LT(report.engine_steps, base.engine_steps);
+    EXPECT_EQ(report.prefill_chunk, 5);
+    EXPECT_EQ(report.prefill_budget, 5);
+  }
+}
+
+TEST(ServePrefill, ReportEmitsChunkFieldsOnlyWhenChunkingIsOn) {
+  serve::Request req;
+  req.prompt = {3, 1, 4, 1, 5, 9, 2, 6};
+  req.max_new_tokens = 4;
+
+  serve::Engine plain = make_chunked_engine(/*max_batch=*/1, 1, 0);
+  plain.submit(req);
+  const std::string plain_json = plain.run().to_json();
+  EXPECT_EQ(plain_json.find("prefill_chunk"), std::string::npos)
+      << "default rows must stay byte-exact: " << plain_json;
+
+  serve::Engine chunked = make_chunked_engine(/*max_batch=*/1, 4, 4);
+  chunked.submit(req);
+  const std::string chunked_json = chunked.run().to_json();
+  EXPECT_NE(chunked_json.find("\"prefill_chunk\": 4"), std::string::npos)
+      << chunked_json;
+  EXPECT_NE(chunked_json.find("\"prefill_budget\": 4"), std::string::npos)
+      << chunked_json;
+  EXPECT_NE(chunked_json.find("\"mixed_ticks\""), std::string::npos)
+      << chunked_json;
+}
+
+TEST(ServePrefill, CreateRejectsBadChunkConfigurations) {
+  for (const auto [chunk, budget] : {std::pair{0, 0}, {-2, 0}, {4, -1}}) {
+    serve::Engine::Options options;
+    options.max_batch = 1;
+    options.prefill_chunk = chunk;
+    options.prefill_budget = budget;
+    EXPECT_FALSE(serve::Engine::create(tiny_model(), quant::spec_of("BFP4"),
+                                       quant::StrategySpec::fp32(),
+                                       std::move(options))
+                     .is_ok())
+        << "chunk " << chunk << " budget " << budget;
+  }
+}
+
+TEST(ServePrefill, PromptHeavyOpenLoopQueueingStaysConsistent) {
+  // The prompt-heavy open-loop regime chunked prefill exists for: Poisson
+  // arrivals, every 3rd prompt long. The chunked engine must complete the
+  // same streams as the lockstep engine while burning fewer ticks, and
+  // the per-request queueing arithmetic must stay exact.
+  const auto prepared = tiny_model();
+  std::vector<serve::Request> requests = serve::long_prompt_requests(
+      prepared->config, /*count=*/6, /*base_prompt_len=*/4,
+      /*long_prompt_len=*/30, /*long_every=*/3, /*max_new_tokens=*/5);
+  serve::ArrivalSpec arrival;
+  arrival.kind = serve::ArrivalSpec::Kind::kPoisson;
+  arrival.rate = 0.2;
+  arrival.seed = 7;
+  serve::stamp_arrivals(requests,
+                        serve::generate_arrivals(arrival,
+                                                 static_cast<int>(
+                                                     requests.size())));
+
+  serve::Engine lockstep =
+      make_chunked_engine(/*max_batch=*/2, 1, 0, /*with_accelerator=*/true);
+  serve::Engine chunked =
+      make_chunked_engine(/*max_batch=*/2, 6, 6, /*with_accelerator=*/true);
+  for (const serve::Request& req : requests) {
+    lockstep.submit(req);
+    chunked.submit(req);
+  }
+  const serve::Report base = lockstep.run();
+  const serve::Report report = chunked.run();
+
+  ASSERT_EQ(report.completed,
+            static_cast<std::int64_t>(requests.size()));
+  EXPECT_EQ(report.stream_hash, base.stream_hash);
+  EXPECT_LT(report.clock_ticks, base.clock_ticks);
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const serve::RequestResult& r = report.results[i];
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.arrival_tick, requests[i].arrival_tick);
+    EXPECT_GE(r.admit_tick, r.arrival_tick);
+    EXPECT_EQ(r.queue_ticks, r.admit_tick - r.arrival_tick);
+    // A chunk can swallow a short prompt whole, so the first token may
+    // land on the admission tick itself — never before it.
+    EXPECT_GE(r.first_token_tick, r.admit_tick);
+    // Chunked TTFT in ticks never loses to the lockstep for the same
+    // request (it wins outright on the long prompts).
+    const serve::RequestResult& b = base.results[i];
+    EXPECT_LE(r.first_token_tick - r.admit_tick,
+              b.first_token_tick - b.admit_tick)
+        << "request " << i;
+  }
 }
 
 TEST(ServeEngine, UndersizedPoolDegradesToErrorResults) {

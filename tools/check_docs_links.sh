@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
-# Docs gate for CI's quick tier (and local use): the documentation set
-# must be present, and every relative markdown link in README.md, docs/
-# and the other root-level .md files must resolve to a real file.
+# Docs gate for CI's quick tier (and local use):
+#  1. the documentation set must be present;
+#  2. every relative markdown link in README.md, docs/ and the other
+#     root-level .md files must resolve to a real file;
+#  3. every #fragment on a relative (or in-page) link must name a real
+#     heading in the target file, under GitHub's slug rules (lowercase,
+#     punctuation stripped, spaces to dashes);
+#  4. every file in docs/ must be linked from at least one other
+#     markdown file — an orphaned document is a broken docs tree even
+#     when no link is broken.
 # External links (http/https/mailto) are not fetched — CI must not
 # depend on the network.
 #
@@ -11,18 +18,30 @@ set -u
 failures=0
 
 # --- Presence: the documentation set PR 4 established (+ LOADGEN PR 6,
-#     KV_QUANT PR 7) ---
+#     KV_QUANT PR 7, PREFILL + METRICS PR 8) ---
 for required in README.md docs/ARCHITECTURE.md docs/SERVING.md \
-                docs/STRATEGIES.md docs/LOADGEN.md docs/KV_QUANT.md; do
+                docs/STRATEGIES.md docs/LOADGEN.md docs/KV_QUANT.md \
+                docs/PREFILL.md docs/METRICS.md; do
   if [ ! -f "$required" ]; then
     echo "MISSING     $required"
     failures=$((failures + 1))
   fi
 done
 
-# --- Relative links resolve ---
-# Extracts [text](target) pairs; ignores external schemes and pure
-# in-page anchors; strips #fragments before the existence check.
+# GitHub's heading-to-anchor slug: lowercase, drop everything that is
+# not a letter, digit, space, hyphen or underscore (backticks, colons,
+# slashes, parens...), then spaces to hyphens. Duplicate headings get
+# -1/-2 suffixes on GitHub; base slugs are enough for this gate.
+slugs_of() {
+  grep -E '^#{1,6} ' "$1" |
+    sed -E 's/^#{1,6} +//; s/ +$//' |
+    tr '[:upper:]' '[:lower:]' |
+    sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
+# --- Relative links resolve; fragments name real headings ---
+# Extracts [text](target) pairs; ignores external schemes; checks file
+# existence with the #fragment stripped, then the fragment itself.
 for doc in *.md docs/*.md; do
   [ -f "$doc" ] || continue
   dir=$(dirname "$doc")
@@ -31,12 +50,34 @@ for doc in *.md docs/*.md; do
     [ -n "$link" ] || continue
     case "$link" in
       http://*|https://*|mailto:*) continue ;;
-      '#'*) continue ;;
     esac
     target=${link%%#*}
-    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+    fragment=""
+    case "$link" in
+      *'#'*) fragment=${link#*#} ;;
+    esac
+    # Resolve the target file: in-page anchors point at $doc itself.
+    if [ -z "$target" ]; then
+      resolved=$doc
+    elif [ -e "$dir/$target" ]; then
+      resolved=$dir/$target
+    elif [ -e "$target" ]; then
+      resolved=$target
+    else
       echo "BROKEN      $doc -> $link"
       failures=$((failures + 1))
+      continue
+    fi
+    # Fragment check only makes sense against markdown files.
+    if [ -n "$fragment" ] && [ -f "$resolved" ]; then
+      case "$resolved" in
+        *.md)
+          if ! slugs_of "$resolved" | grep -qx "$fragment"; then
+            echo "BAD ANCHOR  $doc -> $link (no heading #$fragment in $resolved)"
+            failures=$((failures + 1))
+          fi
+          ;;
+      esac
     fi
   done << EOF
 $(grep -oE '\[[^][]*\]\([^)]+\)' "$doc" |
@@ -44,8 +85,27 @@ $(grep -oE '\[[^][]*\]\([^)]+\)' "$doc" |
 EOF
 done
 
+# --- No orphaned docs: each docs/*.md is linked from somewhere else ---
+for doc in docs/*.md; do
+  [ -f "$doc" ] || continue
+  base=$(basename "$doc")
+  linked=0
+  for other in *.md docs/*.md; do
+    [ -f "$other" ] || continue
+    [ "$other" = "$doc" ] && continue
+    if grep -qE "\]\((docs/)?$base(#[^)]*)?\)" "$other"; then
+      linked=1
+      break
+    fi
+  done
+  if [ "$linked" -eq 0 ]; then
+    echo "ORPHANED    $doc (linked from no other markdown file)"
+    failures=$((failures + 1))
+  fi
+done
+
 if [ "$failures" -ne 0 ]; then
   echo "check_docs_links: $failures problem(s)"
   exit 1
 fi
-echo "check_docs_links: all documentation present, all relative links ok"
+echo "check_docs_links: docs present, links + anchors resolve, no orphans"

@@ -14,14 +14,17 @@
 //
 // Usage: ./build/tools/record_serve [out.json] [--threads N]
 //            [--policy fifo|sjf|prefix-aware]
-//            [--workload synthetic|shared-prefix|poisson|bursty|trace=PATH]
-//            [--seed N] [--rate REQS_PER_TICK]
+//            [--workload synthetic|shared-prefix|poisson|bursty|
+//             long-prompt|trace=PATH]
+//            [--seed N] [--rate REQS_PER_TICK] [--prefill-chunk N]
 //            [--kv-format FP32|INT8|BFP<m>|BBFP(<m>,<o>)]
 // Env:   BBAL_MODEL (default Llama-7B), BBAL_EVAL_TOKENS (default 128),
 //        BBAL_SERVE_REQUESTS (default 8), BBAL_SERVE_NEW_TOKENS (default
 //        16), BBAL_SERVE_BATCH (default 4), BBAL_SERVE_PREFIX (default 8,
 //        shared-prefix only), BBAL_SERVE_FRONTIER_PREFIX (default 24,
-//        frontier sweep only), BBAL_THREADS (--threads wins)
+//        frontier sweep only), BBAL_SERVE_LONG_PROMPT (default 96) and
+//        BBAL_SERVE_LONG_EVERY (default 4) for the long-prompt mix,
+//        BBAL_THREADS (--threads wins)
 //
 // KV formats: --kv-format stores every engine's paged KV cache in the
 // named quant::KvFormat (see docs/KV_QUANT.md) — the ad-hoc/smoke path.
@@ -35,12 +38,24 @@
 // byte-exact with the pre-open-loop recorder; "shared-prefix" is the
 // closed-loop common-system-prompt mix; "poisson"/"bursty" stamp the
 // synthetic mix with seeded open-loop arrivals at --rate requests per
-// tick; "trace=PATH" replays a serve::trace JSONL file. The descriptor
-// for whichever was picked is recorded in meta and in every row (the
-// "workload" field, part of the bench_compare row key).
+// tick; "long-prompt" is the prompt-heavy chunked-prefill mix (every
+// BBAL_SERVE_LONG_EVERY-th prompt BBAL_SERVE_LONG_PROMPT tokens long,
+// Poisson arrivals at --rate); "trace=PATH" replays a serve::trace JSONL
+// file. The descriptor for whichever was picked is recorded in meta and
+// in every row (the "workload" field, part of the bench_compare row key).
+//
+// --prefill-chunk N turns on chunked prefill (docs/PREFILL.md): it sets
+// Engine::Options::prefill_chunk = N and prefill_budget = N, so each
+// prefilling request consumes up to N prompt tokens per tick and a tick
+// grants at most N prefill tokens across the batch. N = 1 restores the
+// legacy one-token-per-tick lockstep (budget 0) — byte-exact streams.
 //
 // The committed baseline records the fifo policy and synthetic workload
 // (the bit-identity reference); the flags exist for ad-hoc studies.
+// WITHOUT --prefill-chunk (and without --kv-format) the tool also appends
+// the committed chunked-prefill comparison: the long-prompt mix on the
+// BBFP(4,2) engine at chunk 1 / 8 / 32, one row each, with the chunk size
+// named in the row's workload descriptor so the rows key separately.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -75,6 +90,7 @@ int main(int argc, char** argv) {
   std::string policy = "fifo";
   std::string workload = "synthetic";
   std::string kv_format;  ///< empty: FP32 rows + the committed frontier
+  int prefill_chunk = 0;  ///< 0: default engine + the committed comparison
   std::uint64_t seed = 2024;
   double rate = 0.05;
   for (int i = 1; i < argc; ++i) {
@@ -87,7 +103,7 @@ int main(int argc, char** argv) {
       workload = argv[++i];
       if (workload != "synthetic" && workload != "shared-prefix" &&
           workload != "poisson" && workload != "bursty" &&
-          workload.rfind("trace=", 0) != 0) {
+          workload != "long-prompt" && workload.rfind("trace=", 0) != 0) {
         std::fprintf(stderr, "record_serve: bad --workload value \"%s\"\n",
                      argv[i]);
         return 2;
@@ -131,6 +147,17 @@ int main(int argc, char** argv) {
                      argv[i]);
         return 2;
       }
+    } else if (arg == "--prefill-chunk") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "record_serve: --prefill-chunk needs a value\n");
+        return 2;
+      }
+      prefill_chunk = std::atoi(argv[++i]);
+      if (prefill_chunk < 1) {
+        std::fprintf(stderr, "record_serve: bad --prefill-chunk value \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (arg == "--kv-format") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "record_serve: --kv-format needs a value\n");
@@ -148,7 +175,8 @@ int main(int argc, char** argv) {
                    "usage: record_serve [out.json] [--threads N] "
                    "[--policy fifo|sjf|prefix-aware] "
                    "[--workload synthetic|shared-prefix|poisson|bursty|"
-                   "trace=PATH] [--seed N] [--rate R] "
+                   "long-prompt|trace=PATH] [--seed N] [--rate R] "
+                   "[--prefill-chunk N] "
                    "[--kv-format FP32|INT8|BFP<m>|BBFP(<m>,<o>)]\n");
       return 0;
     } else if (arg.rfind("-", 0) == 0) {
@@ -201,6 +229,23 @@ int main(int argc, char** argv) {
     descriptor = "shared-prefix(n=" + std::to_string(num_requests) +
                  ",prefix=" + std::to_string(prefix_len) +
                  ",seed=" + std::to_string(seed) + ")";
+  } else if (workload == "long-prompt") {
+    const int long_prompt = env_int("BBAL_SERVE_LONG_PROMPT", 96);
+    const int long_every = env_int("BBAL_SERVE_LONG_EVERY", 4);
+    requests = serve::long_prompt_requests(prepared->config, num_requests,
+                                           /*base_prompt_len=*/12, long_prompt,
+                                           long_every, new_tokens, seed);
+    serve::ArrivalSpec spec;
+    spec.kind = serve::ArrivalSpec::Kind::kPoisson;
+    spec.rate = rate;
+    spec.seed = seed;
+    const auto ticks = serve::generate_arrivals(spec, num_requests);
+    serve::stamp_arrivals(requests, ticks);
+    descriptor = "long-prompt(n=" + std::to_string(num_requests) +
+                 ",long=" + std::to_string(long_prompt) +
+                 ",every=" + std::to_string(long_every) +
+                 ",seed=" + std::to_string(seed) + ")+" +
+                 serve::describe_arrivals(spec);
   } else if (workload == "poisson" || workload == "bursty") {
     requests = serve::synthetic_requests(prepared->config, num_requests,
                                          /*base_prompt_len=*/12, new_tokens,
@@ -243,6 +288,13 @@ int main(int argc, char** argv) {
     options.max_batch = max_batch;
     options.policy = policy;
     if (!kv_format.empty()) options.kv_format = kv_format;
+    if (prefill_chunk > 0) {
+      options.prefill_chunk = prefill_chunk;
+      // Budget = chunk: a tick grants at most one chunk's worth of prefill
+      // tokens across the batch, the decode-protecting pairing the docs
+      // study uses. Chunk 1 is the legacy lockstep, left unbudgeted.
+      options.prefill_budget = prefill_chunk > 1 ? prefill_chunk : 0;
+    }
     // Iso-area accelerators (Fig. 8's comparison rule) price the rows
     // whose strategy has a PE design.
     if (BackendRegistry::instance().has_cost_model(spec.value())) {
@@ -286,8 +338,9 @@ int main(int argc, char** argv) {
   // policy. Every engine serves the same traffic, so the rows differ only
   // in how the pool stores K/V — kv_bytes_peak falls with the format while
   // the stream hash records any token divergence. Skipped when --kv-format
-  // pins a format (the ad-hoc/smoke path records strategy rows only).
-  if (kv_format.empty()) {
+  // or --prefill-chunk pins an ad-hoc configuration (those paths record
+  // strategy rows only).
+  if (kv_format.empty() && prefill_chunk == 0) {
     const int frontier_prefix = env_int("BBAL_SERVE_FRONTIER_PREFIX", 24);
     const auto frontier_requests = serve::shared_prefix_requests(
         prepared->config, num_requests, frontier_prefix, /*suffix_len=*/4,
@@ -337,6 +390,73 @@ int main(int argc, char** argv) {
                    static_cast<long long>(report.generated_tokens),
                    report.stream_hash,
                    static_cast<long long>(report.kv_bytes_peak));
+      rows.push_back(report.to_json());
+    }
+  }
+
+  // The committed chunked-prefill comparison: the long-prompt mix under
+  // Poisson arrivals, served by the BBFP(4,2)/fifo engine at chunk 1
+  // (the legacy lockstep), 8 and 32 — identical token streams (the
+  // engine's bit-identity contract, stream_hash exact across the rows)
+  // with TTFT falling as the chunk grows (docs/PREFILL.md quantifies).
+  // The chunk size is named in the workload descriptor so the rows key
+  // separately under bench_compare.
+  if (kv_format.empty() && prefill_chunk == 0) {
+    const int long_prompt = env_int("BBAL_SERVE_LONG_PROMPT", 96);
+    const int long_every = env_int("BBAL_SERVE_LONG_EVERY", 4);
+    auto prefill_requests = serve::long_prompt_requests(
+        prepared->config, num_requests, /*base_prompt_len=*/12, long_prompt,
+        long_every, new_tokens, seed);
+    serve::ArrivalSpec arrival;
+    arrival.kind = serve::ArrivalSpec::Kind::kPoisson;
+    arrival.rate = rate;
+    arrival.seed = seed;
+    const auto ticks = serve::generate_arrivals(arrival, num_requests);
+    serve::stamp_arrivals(prefill_requests, ticks);
+    const std::string base_descriptor =
+        "long-prompt(n=" + std::to_string(num_requests) +
+        ",long=" + std::to_string(long_prompt) +
+        ",every=" + std::to_string(long_every) +
+        ",seed=" + std::to_string(seed) + ")+" +
+        serve::describe_arrivals(arrival);
+    const auto prefill_spec =
+        quant::StrategySpec::parse("BBFP(4,2)").expect("BBFP(4,2)");
+    std::fprintf(stderr, "prefill comparison: %zu requests [%s]\n",
+                 prefill_requests.size(), base_descriptor.c_str());
+    for (const int chunk : {1, 8, 32}) {
+      serve::Engine::Options options;
+      options.max_batch = max_batch;
+      options.policy = "fifo";
+      options.prefill_chunk = chunk;
+      options.prefill_budget = chunk > 1 ? chunk : 0;
+      options.accelerator =
+          accel::make_iso_area_config(prefill_spec,
+                                      /*pe_area_budget_um2=*/150000.0)
+              .expect("iso-area config");
+      auto engine = serve::Engine::create(prepared, prefill_spec,
+                                          quant::StrategySpec::fp32(),
+                                          std::move(options));
+      if (!engine.is_ok()) {
+        std::fprintf(stderr, "  chunk=%d: %s\n", chunk,
+                     engine.message().c_str());
+        return 1;
+      }
+      for (const serve::Request& req : prefill_requests)
+        engine.value().submit(req);
+      serve::Report report = engine.value().run();
+      report.workload = base_descriptor + "+chunk=" + std::to_string(chunk);
+      if (report.completed != report.requests) {
+        std::fprintf(stderr, "  chunk=%d: only %lld of %lld completed\n",
+                     chunk, static_cast<long long>(report.completed),
+                     static_cast<long long>(report.requests));
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "  chunk=%2d: hash %u, mean ttft %.4gs, p99 itl %.4gs, "
+                   "%lld mixed ticks\n",
+                   chunk, report.stream_hash, report.ttft_mean_seconds,
+                   report.p99_inter_token_seconds,
+                   static_cast<long long>(report.mixed_ticks));
       rows.push_back(report.to_json());
     }
   }

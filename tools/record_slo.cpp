@@ -23,9 +23,14 @@
 //
 // Usage: record_slo [out.json] [--threads N] [--quick]
 //                   [--slo-ttft SECONDS] [--slo-itl SECONDS]
+//                   [--prefill-chunk N]
 //        --quick records only the top (overload) load point — the CI
 //        quick tier gates it against the full committed sweep with
 //        bench_compare --rows-subset.
+//        --prefill-chunk N serves every cell with chunked prefill
+//        (prefill_chunk = N, prefill_budget = N; docs/PREFILL.md) — an
+//        ad-hoc capacity study, not part of the committed baseline. N = 1
+//        is the legacy lockstep (budget 0), byte-exact with the default.
 // Env:   BBAL_MODEL (default Llama-7B), BBAL_EVAL_TOKENS (default 128),
 //        BBAL_SLO_REQUESTS (default 24), BBAL_SLO_NEW_TOKENS (default 16),
 //        BBAL_SLO_BATCH (default 4), BBAL_THREADS (--threads wins)
@@ -71,10 +76,22 @@ int main(int argc, char** argv) {
   // p99 TTFT, ~25x the per-tick step latency (docs/LOADGEN.md).
   double slo_ttft = 0.010;
   double slo_itl = 0.005;
+  int prefill_chunk = 0;  ///< 0: the engine default (no chunking)
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--prefill-chunk") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "record_slo: --prefill-chunk needs a value\n");
+        return 2;
+      }
+      prefill_chunk = std::atoi(argv[++i]);
+      if (prefill_chunk < 1) {
+        std::fprintf(stderr, "record_slo: bad --prefill-chunk value \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (arg == "--threads") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "record_slo: --threads needs a value\n");
@@ -102,7 +119,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: record_slo [out.json] [--threads N] [--quick] "
-                   "[--slo-ttft SECONDS] [--slo-itl SECONDS]\n");
+                   "[--slo-ttft SECONDS] [--slo-itl SECONDS] "
+                   "[--prefill-chunk N]\n");
       return 0;
     } else if (arg.rfind("-", 0) == 0) {
       std::fprintf(stderr, "record_slo: unknown option \"%s\"\n", arg.c_str());
@@ -168,6 +186,10 @@ int main(int argc, char** argv) {
       serve::Engine::Options options;
       options.max_batch = max_batch;
       options.policy = policy;
+      if (prefill_chunk > 0) {
+        options.prefill_chunk = prefill_chunk;
+        options.prefill_budget = prefill_chunk > 1 ? prefill_chunk : 0;
+      }
       options.accelerator =
           accel::make_iso_area_config(spec, /*pe_area_budget_um2=*/150000.0)
               .expect("iso-area config");
