@@ -55,7 +55,8 @@ void Decoder::prefill_chunk(std::span<const int> tokens, KVCacheView& view,
 
 void Decoder::step_groups(std::span<const int> tokens,
                           std::span<KVCacheView* const> views,
-                          std::span<const int> counts, Matrix& logits_out) {
+                          std::span<const int> counts, Matrix& logits_out,
+                          LogitsMode mode) {
   const ModelConfig& cfg = model_.config();
   const TransformerWeights& w = model_.weights();
   MatmulBackend& mm = model_.matmul_backend();
@@ -186,19 +187,29 @@ void Decoder::step_groups(std::span<const int> tokens,
     add_inplace(ws_.x, ws_.down);
   }
 
-  // LM head over each group's LAST row only: mid-chunk prompt logits are
-  // never used (a prompt's intermediate next-token distributions are
-  // discarded), so the vocab GEMM runs at M = groups, not M = batch. With
-  // every count == 1 the gather copies the whole batch in order, and each
-  // output row stays the same independent serial accumulation — the
-  // pre-chunk step_batch result, bit for bit.
-  ws_.last.resize(groups, d);
-  for (int g = 0, r = 0; g < groups; ++g) {
-    r += counts[static_cast<std::size_t>(g)] - 1;
-    const std::span<const float> src = ws_.x.row(r);
-    const std::span<float> dst = ws_.last.row(g);
+  // LM head. Default mode gathers each group's LAST row only: mid-chunk
+  // prompt logits are never used (a prompt's intermediate next-token
+  // distributions are discarded), so the vocab GEMM runs at M = groups,
+  // not M = batch. With every count == 1 the gather copies the whole
+  // batch in order, and each output row stays the same independent serial
+  // accumulation — the pre-chunk step_batch result, bit for bit.
+  // kAllRows keeps every row (the speculative verify window): only the
+  // gather changes, so a row surfaced by both modes is the same floats
+  // through the same final-norm + GEMM — bit-identical.
+  if (mode == LogitsMode::kAllRows) {
+    ws_.last.resize(batch, d);
+    const std::span<const float> src = ws_.x.flat();
+    const std::span<float> dst = ws_.last.flat();
     std::copy(src.begin(), src.end(), dst.begin());
-    ++r;
+  } else {
+    ws_.last.resize(groups, d);
+    for (int g = 0, r = 0; g < groups; ++g) {
+      r += counts[static_cast<std::size_t>(g)] - 1;
+      const std::span<const float> src = ws_.x.row(r);
+      const std::span<float> dst = ws_.last.row(g);
+      std::copy(src.begin(), src.end(), dst.begin());
+      ++r;
+    }
   }
   rmsnorm_rows(ws_.last, w.final_norm_gain);
   mm.matmul(ws_.last, model_.lm_head_handle(), logits_out);

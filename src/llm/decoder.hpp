@@ -171,10 +171,20 @@ class Decoder {
   /// over positions 0..length()+i of its own view, reading the chunk's
   /// earlier rows back through the view exactly as a later step would.
   ///
-  /// logits_out is resized to (views.size() x vocab): one row per GROUP,
-  /// the logits after each group's LAST token (mid-chunk positions never
-  /// reach the LM head — a prompt's intermediate logits are discarded
-  /// anyway, so the vocab GEMM runs at M = groups, not M = total rows).
+  /// With the default LogitsMode::kLastPerGroup, logits_out is resized to
+  /// (views.size() x vocab): one row per GROUP, the logits after each
+  /// group's LAST token (mid-chunk positions never reach the LM head — a
+  /// prompt's intermediate logits are discarded anyway, so the vocab GEMM
+  /// runs at M = groups, not M = total rows).
+  ///
+  /// LogitsMode::kAllRows instead surfaces every batch row's logits —
+  /// logits_out becomes (sum(counts) x vocab), row r the next-token
+  /// distribution after the r-th stacked token. This is the speculative
+  /// verify window: a target backend feeds [x0, d1..dk] as one group of
+  /// k+1 rows and checks each drafted token against the argmax of the row
+  /// before it (docs/SPECULATIVE.md). Row contents are unchanged — the
+  /// mode only decides which rows reach the final-norm + LM-head GEMM, so
+  /// the rows the default mode surfaces are bit-identical in both modes.
   ///
   /// Bit-identity: every output row of every projection is an independent
   /// serial accumulation over the same floats a one-token-per-step run
@@ -182,9 +192,14 @@ class Decoder {
   /// order, so a chunked prefill stream is bit-identical to the unchunked
   /// stream at any BBAL_THREADS (tested in test_decoder / test_serve).
   /// step_batch is exactly this call with every count == 1.
+  enum class LogitsMode {
+    kLastPerGroup,  ///< one logits row per group (its last token)
+    kAllRows,       ///< one logits row per stacked token (verify window)
+  };
   void step_groups(std::span<const int> tokens,
                    std::span<KVCacheView* const> views,
-                   std::span<const int> counts, Matrix& logits_out);
+                   std::span<const int> counts, Matrix& logits_out,
+                   LogitsMode mode = LogitsMode::kLastPerGroup);
 
   /// Chunked prefill of one sequence: feed tokens.size() prompt tokens
   /// through `view` in one grouped step — one (chunk x d_model) GEMM per

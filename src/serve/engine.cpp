@@ -54,6 +54,14 @@ Result<Engine> Engine::create(
   if (options.prefill_budget < 0)
     return R::error("prefill_budget must be >= 0 (0 = uncapped), got " +
                     std::to_string(options.prefill_budget));
+  if (options.draft_k < 0)
+    return R::error("draft_k must be >= 0 (0 = no speculation), got " +
+                    std::to_string(options.draft_k));
+  if (options.draft_k > 0 && options.draft.empty())
+    return R::error("draft_k > 0 needs a draft strategy (Options::draft)");
+  if (options.draft_k == 0 && !options.draft.empty())
+    return R::error("draft: set draft_k >= 1 to enable speculation with " +
+                    options.draft);
   auto policy = make_policy(options.policy);
   if (!policy.is_ok()) return R::error(policy.message());
   auto kv_format = quant::KvFormat::parse(options.kv_format);
@@ -71,6 +79,21 @@ Result<Engine> Engine::create(
     if (!nl_caps.value().nonlinear)
       return R::error("nonlinear: " + nonlinear.to_string() +
                       " is not a nonlinear strategy");
+  }
+
+  // Speculation's second backend resolves through the same registry and
+  // capability gate as the target — the draft is a full matmul pipeline
+  // over the same prepared weights.
+  quant::StrategySpec draft_spec;
+  if (options.draft_k > 0) {
+    auto parsed = quant::StrategySpec::parse(options.draft);
+    if (!parsed.is_ok()) return R::error("draft: " + parsed.message());
+    draft_spec = parsed.value();
+    const auto caps = registry.capabilities(draft_spec);
+    if (!caps.is_ok()) return R::error("draft: " + caps.message());
+    if (!caps.value().matmul)
+      return R::error("draft: " + draft_spec.to_string() +
+                      " is not a linear-layer strategy");
   }
 
   Engine engine;
@@ -93,6 +116,23 @@ Result<Engine> Engine::create(
                       "choose a cost-modelled strategy");
     engine.accel_ = std::move(*options.accelerator);
     engine.accel_->strategy = matmul.to_string();
+  }
+
+  // Speculation on a priced engine also prices the draft forwards — on an
+  // iso-area re-provisioning of the target's PE budget (Fig. 8's
+  // comparison rule), so the reported speedup is what swapping drafting
+  // work onto cheaper PEs of the same silicon actually buys.
+  if (options.draft_k > 0 && engine.accel_) {
+    if (!registry.has_cost_model(draft_spec))
+      return R::error("draft: " + draft_spec.to_string() +
+                      " has no hardware cost model; drop the accelerator "
+                      "or choose a cost-modelled draft strategy");
+    auto draft_accel = accel::make_iso_area_config(
+        draft_spec, engine.accel_->pe_array_area_um2(),
+        engine.accel_->dram_gbps);
+    if (!draft_accel.is_ok())
+      return R::error("draft: " + draft_accel.message());
+    engine.draft_accel_ = std::move(draft_accel).value();
   }
 
   // An SLO is judged on simulated time, so it needs the accelerator that
@@ -123,6 +163,26 @@ Result<Engine> Engine::create(
       *engine.matmul_backend_, *engine.nonlinear_backend_);
   engine.model_->set_logit_scale(engine.prepared_->logit_scale);
   engine.decoder_ = std::make_unique<llm::Decoder>(*engine.model_);
+
+  // The draft pipeline: the SAME prepared weights quantised a second time
+  // under the draft strategy, with its own decoder workspace. A
+  // draft == target pair therefore runs identical arithmetic on both
+  // sides, which is what makes its acceptance rate exactly 1.0.
+  if (options.draft_k > 0) {
+    engine.draft_ = draft_spec;
+    engine.draft_k_ = options.draft_k;
+    auto draft_mm = registry.make_matmul(draft_spec);
+    if (!draft_mm.is_ok()) return R::error("draft: " + draft_mm.message());
+    auto draft_nl = registry.make_nonlinear(nonlinear);
+    if (!draft_nl.is_ok()) return R::error("draft: " + draft_nl.message());
+    engine.draft_matmul_backend_ = std::move(draft_mm).value();
+    engine.draft_nonlinear_backend_ = std::move(draft_nl).value();
+    engine.draft_model_ = std::make_unique<llm::Transformer>(
+        engine.prepared_->config, engine.prepared_->weights,
+        *engine.draft_matmul_backend_, *engine.draft_nonlinear_backend_);
+    engine.draft_model_->set_logit_scale(engine.prepared_->logit_scale);
+    engine.draft_decoder_ = std::make_unique<llm::Decoder>(*engine.draft_model_);
+  }
   return engine;
 }
 
@@ -165,6 +225,10 @@ Report Engine::run() {
   report.max_batch = max_batch();
   report.prefill_chunk = prefill_chunk_;
   report.prefill_budget = prefill_budget_;
+  if (speculative()) {
+    report.draft = draft_.to_string();
+    report.draft_k = draft_k_;
+  }
   report.has_cost = accel_.has_value();
   report.has_slo = slo_.has_value();
   if (slo_) {
@@ -240,6 +304,17 @@ Report Engine::run() {
     for (const std::size_t i : arrivals)
       pages += (total_positions(requests[i]) + kv_page_tokens_ - 1) /
                kv_page_tokens_;
+    if (speculative() && !arrivals.empty()) {
+      // Speculation headroom, per concurrently-decoding flight: the
+      // verify window never reserves past total_positions, but each cycle
+      // transiently holds a draft fork — up to one copy-on-write tail
+      // copy plus the fork's own proposal pages.
+      const std::int64_t per_flight =
+          (draft_k_ + kv_page_tokens_ - 1) / kv_page_tokens_ + 2;
+      pages += per_flight *
+               std::min<std::int64_t>(
+                   max_batch_, static_cast<std::int64_t>(arrivals.size()));
+    }
     kv_options.max_pages = static_cast<int>(std::max<std::int64_t>(pages, 1));
   }
   PagedKVPool kv(cfg, kv_options);
@@ -278,8 +353,15 @@ Report Engine::run() {
   };
   const auto fits = [&](const Request& req) {
     const int shared = sharing ? kv.probe_prefix_tokens(req.prompt) : 0;
-    const std::int64_t needed =
+    std::int64_t needed =
         kv.pages_for(total_positions(req)) - shared / kv.page_tokens();
+    // Keep the transient speculative fork affordable for every flight
+    // that could be mid-cycle at once (a failed draft reservation only
+    // degrades a cycle to a plain step, but admission shouldn't plan on
+    // degrading).
+    if (speculative())
+      needed += static_cast<std::int64_t>(kv.pages_for(draft_k_) + 2) *
+                static_cast<std::int64_t>(active.size() + 1);
     return kv.stats().pages_in_use + pending_pages() + needed <=
            kv.max_pages();
   };
@@ -292,6 +374,11 @@ Report Engine::run() {
   std::vector<int> prefill_remaining;  ///< prompt tokens left, per flight
   std::vector<int> prefill_grants;     ///< plan_prefill output, per flight
   llm::Matrix tick_logits;
+  std::vector<int> draft_tokens;               ///< draft batch, per step
+  std::vector<llm::KVCacheView*> draft_views;  ///< draft batch views
+  llm::Matrix draft_logits;
+  std::vector<accel::GemmShape> equiv_workload;  ///< target-only pricing
+  double target_equiv_seconds = 0.0;  ///< counterfactual (speculative runs)
   std::vector<double> token_latencies;   ///< simulated, per emitted token
   std::vector<double> inter_token_gaps;  ///< gaps between a request's tokens
   accel::EnergyBreakdown energy;
@@ -398,8 +485,38 @@ Report Engine::run() {
       if (prefill_remaining[i] > 0) {
         active[i].tick_rows = prefill_grants[i];
         tick_has_prefill |= prefill_grants[i] > 0;
-      } else {
+      } else if (!speculative()) {
         active[i].tick_rows = 1;
+        tick_has_decode = true;
+      } else {
+        // Speculation cycle setup. The draft window is capped so the
+        // cycle never emits past the request's budget (accepted drafts
+        // plus the correction/bonus token is at most spec_k + 1); with
+        // one token left the cycle degenerates to a plain verified step.
+        // The draft sequence forks the target BEFORE the target's own
+        // reserve: the fork pins the shared tail, so the target's verify
+        // appends copy-on-write it instead of two sequences writing one
+        // page. A draft that cannot reserve (explicit undersized pool)
+        // degrades to spec_k = 0 — speculation never fails a request.
+        InFlight& flight = active[i];
+        const Request& req = requests[flight.request_index];
+        const int remaining =
+            req.max_new_tokens -
+            static_cast<int>(
+                report.results[flight.request_index].generated.size());
+        int k = std::min(draft_k_, remaining - 1);
+        if (k > 0) {
+          flight.draft_seq = kv.fork(flight.seq);
+          if (kv.reserve(flight.draft_seq, k).is_ok()) {
+            flight.draft_view = PagedKVView(kv, flight.draft_seq);
+          } else {
+            kv.release(flight.draft_seq);
+            flight.draft_seq = -1;
+            k = 0;
+          }
+        }
+        flight.spec_k = k;
+        flight.tick_rows = 1 + k;
         tick_has_decode = true;
       }
     }
@@ -411,7 +528,18 @@ Report Engine::run() {
     // only possible under an explicit undersized kv_pool_pages — retires
     // the request with an error instead of aborting.
     for (InFlight& flight : active) {
-      const Status reserved = kv.reserve(flight.seq, flight.tick_rows);
+      flight.tick_base = kv.length(flight.seq);
+      Status reserved = kv.reserve(flight.seq, flight.tick_rows);
+      if (!reserved.is_ok() && flight.spec_k > 0) {
+        // The verify window did not fit: give the draft fork back and
+        // retry as a plain step — speculation must never retire a
+        // request the target-only engine would have completed.
+        kv.release(flight.draft_seq);
+        flight.draft_seq = -1;
+        flight.spec_k = 0;
+        flight.tick_rows = 1;
+        reserved = kv.reserve(flight.seq, 1);
+      }
       if (!reserved.is_ok()) {
         flight.failed = true;
         report.results[flight.request_index].error = reserved.message();
@@ -419,11 +547,42 @@ Report Engine::run() {
     }
     std::erase_if(active, [&](InFlight& flight) {
       if (!flight.failed) return false;
+      if (flight.draft_seq >= 0) kv.release(flight.draft_seq);
       kv.release(flight.seq);
       ++free_slots;
       return true;
     });
     kv_pages_sum += kv.stats().pages_in_use;
+
+    // --- Draft phase (speculative cycles only): the cheap backend
+    // proposes spec_k tokens per decoding flight, one fused draft
+    // step_batch per proposal depth across every still-drafting flight.
+    // Drafts attend over the verified prefix through the fork's shared
+    // pages and over their own proposals through the fork's private
+    // (copy-on-write) tail — the target's pages are never written. Each
+    // logits row is an independent serial accumulation, so proposals are
+    // deterministic at any BBAL_THREADS and any batch composition.
+    if (speculative()) {
+      for (InFlight& flight : active) flight.proposals.clear();
+      for (int s = 0;; ++s) {
+        draft_tokens.clear();
+        draft_views.clear();
+        for (InFlight& flight : active) {
+          if (flight.spec_k <= s) continue;
+          draft_tokens.push_back(s == 0 ? flight.last_token
+                                        : flight.proposals.back());
+          draft_views.push_back(&flight.draft_view);
+        }
+        if (draft_tokens.empty()) break;
+        draft_decoder_->step_batch(draft_tokens, draft_views, draft_logits);
+        int row = 0;
+        for (InFlight& flight : active) {
+          if (flight.spec_k <= s) continue;
+          flight.proposals.push_back(greedy_argmax(draft_logits.row(row)));
+          ++row;
+        }
+      }
+    }
 
     // Price the tick before stepping it: a decode row attends over
     // (cached positions + 1); a prefill chunk prices its fused M=chunk
@@ -437,6 +596,7 @@ Report Engine::run() {
     double tick_seconds = 0.0;
     if (accel_) {
       std::vector<accel::GemmShape> workload;
+      std::vector<accel::GemmShape> draft_workload;
       std::int64_t kv_bytes = 0;
       for (const InFlight& flight : active) {
         if (flight.tick_rows == 0) continue;
@@ -452,15 +612,36 @@ Report Engine::run() {
         // a quantised format moves proportionally less KV traffic.
         for (int i = 0; i < flight.tick_rows; ++i)
           kv_bytes += token_kv_bytes * (base + i + 2);
+        // Draft forwards: spec_k sequential M=1 decode steps at growing
+        // context, priced on the draft accelerator below. Their KV
+        // traffic hits the same pool macro as everything else.
+        for (int s = 0; s < flight.spec_k; ++s) {
+          std::vector<accel::GemmShape> dstep =
+              accel::decode_step_gemms(cfg, base + s + 1);
+          draft_workload.insert(draft_workload.end(),
+                                std::make_move_iterator(dstep.begin()),
+                                std::make_move_iterator(dstep.end()));
+          kv_bytes += token_kv_bytes * (base + s + 2);
+        }
       }
       const accel::RunStats stats = accel::simulate_workload(*accel_, workload);
       tick_seconds = stats.seconds;
-      sim_makespan += tick_seconds;
       report.simulated_macs += stats.gemm.macs;
       energy.core_j += stats.energy.core_j;
       energy.buffer_j += stats.energy.buffer_j;
       energy.dram_j += stats.energy.dram_j;
       energy.static_j += stats.energy.static_j;
+      if (!draft_workload.empty()) {
+        const accel::RunStats dstats =
+            accel::simulate_workload(*draft_accel_, draft_workload);
+        tick_seconds += dstats.seconds;
+        report.simulated_macs += dstats.gemm.macs;
+        energy.core_j += dstats.energy.core_j;
+        energy.buffer_j += dstats.energy.buffer_j;
+        energy.dram_j += dstats.energy.dram_j;
+        energy.static_j += dstats.energy.static_j;
+      }
+      sim_makespan += tick_seconds;
       // 64-bit words on the KV macro port: 8 packed bytes per access.
       kv_energy_j += static_cast<double>(kv_bytes) / 8.0 *
                      kv_sram.access_pj() * 1e-12;
@@ -488,29 +669,118 @@ Report Engine::run() {
           tick_tokens.push_back(
               req.prompt[static_cast<std::size_t>(flight.prompt_pos + i)]);
       } else {
+        // A decode group is the verify window [x0, d1..d_spec_k]: the
+        // target computes every window position's logits in this one
+        // fused forward (kAllRows). With speculation off it is the
+        // single-row legacy group.
         tick_tokens.push_back(flight.last_token);
+        for (const int t : flight.proposals) tick_tokens.push_back(t);
       }
       tick_views.push_back(&flight.view);
       tick_counts.push_back(flight.tick_rows);
     }
-    decoder_->step_groups(tick_tokens, tick_views, tick_counts, tick_logits);
-    // One logits row per stepped flight (its group's last row).
-    int group = 0;
+    const bool all_rows = speculative();
+    decoder_->step_groups(tick_tokens, tick_views, tick_counts, tick_logits,
+                          all_rows ? llm::Decoder::LogitsMode::kAllRows
+                                   : llm::Decoder::LogitsMode::kLastPerGroup);
+    // Emission. Default mode: one logits row per stepped flight (its
+    // group's last row). Speculative mode: the row cursor walks every
+    // window position; a decode flight accepts the longest drafted prefix
+    // matching the target's greedy argmax, then emits the correction
+    // (first mismatching row's argmax) or — all drafts accepted — the
+    // bonus token. Rejected window rows are rolled back with
+    // PagedKVPool::truncate, so the surviving KV state is exactly what a
+    // target-only engine would hold after the same emissions.
+    int row = 0;
     for (InFlight& flight : active) {
+      flight.tick_emitted = 0;
       if (flight.tick_rows == 0) continue;
       const Request& req = requests[flight.request_index];
       RequestResult& out = report.results[flight.request_index];
       const int prompt_len = static_cast<int>(req.prompt.size());
-      if (flight.prompt_pos < prompt_len)
+      if (flight.prompt_pos < prompt_len) {
         flight.prompt_pos += flight.tick_rows;
-      // The tick that consumes the final prompt token emits the first
-      // generated token; every later tick emits one more.
-      if (flight.prompt_pos == prompt_len) {
-        flight.last_token = greedy_argmax(tick_logits.row(group));
+        // The tick that consumes the final prompt token emits the first
+        // generated token.
+        if (flight.prompt_pos == prompt_len) {
+          const int last = all_rows ? row + flight.tick_rows - 1 : row;
+          flight.last_token = greedy_argmax(tick_logits.row(last));
+          out.generated.push_back(flight.last_token);
+          flight.tick_emitted = 1;
+          if (out.generated.size() == 1) out.first_token_tick = clock;
+        }
+      } else if (!all_rows) {
+        flight.last_token = greedy_argmax(tick_logits.row(row));
         out.generated.push_back(flight.last_token);
+        flight.tick_emitted = 1;
         if (out.generated.size() == 1) out.first_token_tick = clock;
+      } else {
+        int accepted = 0;
+        int next = -1;
+        for (;;) {
+          // Row (row + accepted) holds the target's next-token logits
+          // after x0, d1..d_accepted — what a target-only step at this
+          // point would have produced, bit for bit.
+          next = greedy_argmax(tick_logits.row(row + accepted));
+          if (accepted == flight.spec_k ||
+              next != flight.proposals[static_cast<std::size_t>(accepted)])
+            break;
+          out.generated.push_back(next);
+          ++accepted;
+        }
+        out.generated.push_back(next);  // correction or bonus token
+        flight.last_token = next;
+        flight.tick_emitted = accepted + 1;
+        if (flight.spec_k > 0) {
+          ++report.draft_cycles;
+          report.drafted_tokens += flight.spec_k;
+          report.accepted_tokens += accepted;
+        }
+        if (accepted < flight.spec_k)
+          kv.truncate(flight.seq, flight.tick_base + accepted + 1);
+        if (flight.draft_seq >= 0) {
+          kv.release(flight.draft_seq);
+          flight.draft_seq = -1;
+        }
+        if (out.generated.size() ==
+            static_cast<std::size_t>(flight.tick_emitted))
+          out.first_token_tick = clock;
       }
-      ++group;
+      row += all_rows ? flight.tick_rows : 1;
+    }
+
+    // Counterfactual pricing (speculative runs): what the same emissions
+    // would have cost target-only — identical prefill work plus one M=1
+    // decode step per emitted token at its context, on the target
+    // accelerator. Simulated cost is additive over GEMMs, so per-tick
+    // summation is exact.
+    if (accel_ && speculative()) {
+      equiv_workload.clear();
+      for (const InFlight& flight : active) {
+        if (flight.tick_rows == 0) continue;
+        const int prompt_len =
+            static_cast<int>(requests[flight.request_index].prompt.size());
+        if (flight.tick_base < prompt_len) {
+          std::vector<accel::GemmShape> step =
+              flight.tick_rows == 1
+                  ? accel::decode_step_gemms(cfg, flight.tick_base + 1)
+                  : accel::prefill_chunk_gemms(cfg, flight.tick_base,
+                                               flight.tick_rows);
+          equiv_workload.insert(equiv_workload.end(),
+                                std::make_move_iterator(step.begin()),
+                                std::make_move_iterator(step.end()));
+        } else {
+          for (int i = 1; i <= flight.tick_emitted; ++i) {
+            std::vector<accel::GemmShape> step =
+                accel::decode_step_gemms(cfg, flight.tick_base + i);
+            equiv_workload.insert(equiv_workload.end(),
+                                  std::make_move_iterator(step.begin()),
+                                  std::make_move_iterator(step.end()));
+          }
+        }
+      }
+      target_equiv_seconds +=
+          accel::simulate_workload(*accel_, equiv_workload).seconds;
     }
     const double wall_now = seconds_since(run_start);
 
@@ -528,11 +798,16 @@ Report Engine::run() {
       const Request& req = requests[flight.request_index];
       RequestResult& out = report.results[flight.request_index];
       ++flight.steps;
-      const bool emitted =
-          flight.prompt_pos == static_cast<int>(req.prompt.size());
-      if (emitted) {
+      // Per emitted token (a speculative cycle can emit several): the
+      // first-ever token stamps TTFT, every later one an inter-token gap.
+      // Tokens of one tick all land at the same simulated instant, so the
+      // second and later of a cycle record a zero gap — the latency a
+      // streaming client actually observes.
+      const std::size_t emitted_before =
+          out.generated.size() - static_cast<std::size_t>(flight.tick_emitted);
+      for (int t = 0; t < flight.tick_emitted; ++t) {
         token_latencies.push_back(tick_seconds);
-        if (out.generated.size() == 1) {
+        if (emitted_before + static_cast<std::size_t>(t) == 0) {
           flight.ttft_seconds =
               sim_makespan - arrival_seconds[flight.request_index];
           flight.ttft_wall_seconds =
@@ -543,6 +818,8 @@ Report Engine::run() {
           flight.max_gap_seconds = std::max(flight.max_gap_seconds, gap);
         }
         flight.last_emit_seconds = sim_makespan;
+      }
+      if (flight.tick_emitted > 0) {
         // The prefill just completed: its full prompt pages become
         // shareable for every follower with the same prefix.
         if (sharing && !flight.registered) {
@@ -638,6 +915,12 @@ Report Engine::run() {
   if (report.engine_steps > 0)
     report.mean_batch_occupancy = static_cast<double>(occupancy_sum) /
                                   static_cast<double>(report.engine_steps);
+  // --- Speculative aggregates ---
+  if (report.drafted_tokens > 0)
+    report.acceptance_rate = static_cast<double>(report.accepted_tokens) /
+                             static_cast<double>(report.drafted_tokens);
+  if (report.has_cost && speculative() && sim_makespan > 0.0)
+    report.speedup_vs_target = target_equiv_seconds / sim_makespan;
   // Ticks run sequentially on the shared accelerator, so the simulated
   // makespan of the run is the sum of per-tick latencies.
   report.total_seconds = sim_makespan;
@@ -692,6 +975,17 @@ std::string Report::to_json() const {
     append_json_int(os, "prefill_chunk", prefill_chunk);
     append_json_int(os, "prefill_budget", prefill_budget);
     append_json_int(os, "mixed_ticks", mixed_ticks);
+  }
+  // Speculative block only when a draft backend ran: default rows stay
+  // byte-exact with the pre-speculative engine.
+  if (draft_k > 0) {
+    os << ", \"draft\": \"" << draft << "\"";
+    append_json_int(os, "draft_k", draft_k);
+    append_json_int(os, "draft_cycles", draft_cycles);
+    append_json_int(os, "drafted_tokens", drafted_tokens);
+    append_json_int(os, "accepted_tokens", accepted_tokens);
+    append_json(os, "acceptance_rate", acceptance_rate);
+    if (has_cost) append_json(os, "speedup_vs_target", speedup_vs_target);
   }
   append_json_int(os, "prompt_tokens", prompt_tokens);
   append_json_int(os, "generated_tokens", generated_tokens);

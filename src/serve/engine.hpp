@@ -136,6 +136,25 @@ class Engine {
     /// every tick. The earliest prefilling flight always advances by at
     /// least one token, so prefill can never starve.
     int prefill_budget = 0;
+    /// Speculative decoding: matmul strategy of the cheap draft backend
+    /// ("" = off). Per cycle the draft proposes up to draft_k tokens for
+    /// every decoding flight and the target backend verifies them all —
+    /// plus the bonus token — in ONE batched forward through the
+    /// step_groups M-axis, accepting the longest matching prefix under
+    /// greedy argmax and rolling the target's KV pages back past the
+    /// first rejection (PagedKVPool::truncate). Output streams are
+    /// bit-identical to the target backend alone by construction; only
+    /// the simulated cost changes (docs/SPECULATIVE.md). The draft must
+    /// be a registered matmul strategy and — when an accelerator is
+    /// attached — carry a hardware cost model: draft forwards are priced
+    /// on an iso-area re-provisioning of the target's PE budget. Both
+    /// knobs must be set together; the draft_k = 0 default reproduces
+    /// the non-speculative engine byte-exactly.
+    std::string draft;
+    /// Tokens drafted per speculation cycle (>= 1 when draft is set; 0 =
+    /// off). Capped per flight so a cycle never emits past
+    /// max_new_tokens.
+    int draft_k = 0;
   };
 
   /// Build an engine over a prepared model and a strategy pair. All
@@ -188,6 +207,14 @@ class Engine {
     return nonlinear_;
   }
   [[nodiscard]] int max_batch() const { return max_batch_; }
+  /// Speculative decoding configured (a draft backend is attached)?
+  [[nodiscard]] bool speculative() const { return draft_k_ > 0; }
+  /// The draft backend's matmul strategy; only meaningful when
+  /// speculative().
+  [[nodiscard]] const quant::StrategySpec& draft_strategy() const {
+    return draft_;
+  }
+  [[nodiscard]] int draft_k() const { return draft_k_; }
   /// The KV-cache storage format every run's pool encodes through.
   [[nodiscard]] const quant::KvFormat& kv_format() const {
     return kv_format_;
@@ -219,6 +246,16 @@ class Engine {
     int tick_rows = 0;
     bool registered = false;  ///< prompt prefix registered in the pool
     bool failed = false;      ///< KV reservation failed; retire with error
+    /// Speculative per-cycle state (docs/SPECULATIVE.md). The draft
+    /// sequence is an ephemeral fork of `seq` — it shares every verified
+    /// page (copy-on-write isolates the draft's own appends) and is
+    /// released at the end of the cycle.
+    int spec_k = 0;  ///< tokens drafted this cycle (budget-capped)
+    PagedKVPool::SeqId draft_seq = -1;
+    PagedKVView draft_view;
+    std::vector<int> proposals;  ///< this cycle's drafted tokens
+    int tick_base = 0;     ///< target KV length at tick start
+    int tick_emitted = 0;  ///< tokens emitted by this tick (0..spec_k+1)
     double ttft_seconds = 0.0;
     double ttft_wall_seconds = 0.0;
     /// Simulated clock at the previous token emission (inter-token gaps).
@@ -241,12 +278,24 @@ class Engine {
   int max_batch_ = 0;
   int prefill_chunk_ = 1;
   int prefill_budget_ = 0;
+  quant::StrategySpec draft_;  ///< valid when draft_k_ > 0
+  int draft_k_ = 0;
+  /// Iso-area re-provisioning of the target accelerator's PE budget for
+  /// the draft strategy: what draft forwards are priced on.
+  std::optional<accel::AcceleratorConfig> draft_accel_;
   // The one shared pipeline: backends (weights quantised once), the model
   // wired over them, and the batch-stepping decoder with its workspace.
   std::unique_ptr<llm::MatmulBackend> matmul_backend_;
   std::unique_ptr<llm::NonlinearBackend> nonlinear_backend_;
   std::unique_ptr<llm::Transformer> model_;
   std::unique_ptr<llm::Decoder> decoder_;
+  // The second (draft) pipeline — the same prepared weights quantised a
+  // second time under the draft strategy, with its own decoder workspace.
+  // Null unless speculative(); never counted in weights_bytes().
+  std::unique_ptr<llm::MatmulBackend> draft_matmul_backend_;
+  std::unique_ptr<llm::NonlinearBackend> draft_nonlinear_backend_;
+  std::unique_ptr<llm::Transformer> draft_model_;
+  std::unique_ptr<llm::Decoder> draft_decoder_;
   std::deque<Request> queue_;
 };
 

@@ -222,6 +222,24 @@ Status PagedKVPool::reserve(SeqId id, int count) {
   return Status::ok();
 }
 
+void PagedKVPool::truncate(SeqId id, int n) {
+  Sequence& seq = sequences_[static_cast<std::size_t>(id)];
+  assert(seq.alive && n >= 0);
+  if (n > seq.length) return;
+  // Keep exactly the pages the surviving positions occupy; everything
+  // past them — including pages a reserve() grew but no append filled —
+  // goes back through the refcount (a sharer keeps the page alive; a
+  // private page returns to the free list, LIFO, so a
+  // truncate-then-append reuses the same page ids deterministically).
+  const int keep = pages_for(n);
+  while (static_cast<int>(seq.pages.size()) > keep) {
+    unref_page(seq.pages.back());
+    seq.pages.pop_back();
+  }
+  seq.length = n;
+  seq.shared = std::min(seq.shared, n);
+}
+
 // --- Prompt-prefix registry --------------------------------------------------
 
 void PagedKVPool::register_prefix(SeqId id, std::span<const int> prompt) {

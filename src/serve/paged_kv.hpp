@@ -127,6 +127,16 @@ class PagedKVPool {
   /// reserve() of a single position — the decode-step case.
   [[nodiscard]] Status reserve_next(SeqId id) { return reserve(id, 1); }
 
+  /// Roll the sequence back to `n` committed positions (speculative
+  /// decoding's rejection path). Pages past the new tail are unreffed —
+  /// freed when theirs was the last reference, kept alive when a fork or
+  /// registered prefix still holds them — and a partially-filled tail
+  /// page is kept (its slots above `n` are dead bytes every future
+  /// append overwrites before any read, per the KVCacheView protocol).
+  /// `n > length` is a no-op; reserve()-grown but unfilled tail pages are
+  /// dropped too. Serial-only, like all structural mutation.
+  void truncate(SeqId id, int n);
+
   // --- Prompt-prefix sharing (serial-only) ----------------------------------
 
   /// Register `id`'s leading full pages of `prompt` as shareable (the

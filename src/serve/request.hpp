@@ -109,6 +109,14 @@ struct Report {
   /// with the pre-chunking engine.
   int prefill_chunk = 1;
   int prefill_budget = 0;
+  /// Speculative-decoding configuration: the draft backend's matmul
+  /// strategy ("" when off) and the per-cycle draft window. Part of the
+  /// bench_compare row key, so speculative frontier rows never collide
+  /// with their target-only siblings. Emitted in to_json() — with the
+  /// whole speculative block below — only when speculation is on, so
+  /// default rows stay byte-exact with the pre-speculative engine.
+  std::string draft;
+  int draft_k = 0;
   bool has_cost = false;  ///< simulated timing fields are meaningful
   bool has_slo = false;   ///< an Slo was configured (and has_cost holds)
 
@@ -129,6 +137,23 @@ struct Report {
   std::int64_t mixed_ticks = 0;
   /// Mean number of active requests per tick (batching effectiveness).
   double mean_batch_occupancy = 0.0;
+
+  // Speculative-decoding accounting (draft_k > 0 runs only; exact and
+  // deterministic — acceptance is a pure function of the model, the two
+  // strategies and the request mix, at any BBAL_THREADS).
+  std::int64_t draft_cycles = 0;     ///< speculation cycles executed
+  std::int64_t drafted_tokens = 0;   ///< proposals fed to verification
+  std::int64_t accepted_tokens = 0;  ///< proposals that matched the target
+  /// accepted_tokens / drafted_tokens (0 when nothing was drafted).
+  /// Exact-gated by bench_compare: determinism is part of the contract.
+  double acceptance_rate = 0.0;
+  /// Simulated seconds a target-only engine would have spent on the same
+  /// streams, over this run's simulated seconds (valid when has_cost;
+  /// > 1.0 means speculation paid for its draft forwards). The
+  /// counterfactual is priced exactly: one decode_step_gemms workload per
+  /// emitted token at its context, on the same target accelerator —
+  /// simulated cost is additive over GEMMs, so batching does not blur it.
+  double speedup_vs_target = 0.0;
 
   // Open-loop queueing aggregates (completed requests; exact ticks).
   double queue_delay_mean_ticks = 0.0;

@@ -341,6 +341,96 @@ TEST(DecoderGroups, MixedPrefillAndDecodeRowsMatchSerial) {
   }
 }
 
+TEST(DecoderGroups, AllRowsModeSurfacesEveryPositionBitIdentically) {
+  // LogitsMode::kAllRows is speculative verification's window: one fused
+  // call over [x0, d1, d2] must surface the logits of EVERY position, each
+  // bit-identical to the serial step() at that position — including the
+  // mid-group rows the default mode discards.
+  for (const std::string& strategy : {std::string("FP32"),
+                                      std::string("BBFP(4,2)")}) {
+    const ModelConfig config = tiny_config();
+    const TransformerWeights weights = generate_weights(config);
+    auto mm = bbal::BackendRegistry::instance()
+                  .make_matmul(quant::spec_of(strategy))
+                  .expect("matmul backend");
+    Fp32NonlinearBackend nl;
+    Transformer model(config, weights, *mm, nl);
+    Decoder fused(model);
+    Decoder reference(model);
+
+    const std::vector<int> window = {3, 17, 42};
+    KVCache cache = fused.make_cache();
+    KVCache ref_cache = reference.make_cache();
+    std::vector<std::vector<float>> ref_logits;
+    for (const int t : window)
+      ref_logits.push_back(reference.step(t, ref_cache));
+
+    Matrix logits;
+    KVCacheRef view(cache);
+    std::vector<KVCacheView*> views = {&view};
+    const std::vector<int> counts = {3};
+    fused.step_groups(window, views, counts, logits,
+                      Decoder::LogitsMode::kAllRows);
+    ASSERT_EQ(logits.rows(), 3);
+    for (int r = 0; r < 3; ++r) {
+      const std::span<const float> row = logits.row(r);
+      ASSERT_EQ(std::vector<float>(row.begin(), row.end()),
+                ref_logits[static_cast<std::size_t>(r)])
+          << strategy << " all-rows position " << r;
+    }
+  }
+}
+
+TEST(DecoderGroups, AllRowsModeLeavesTheDefaultPathByteExact) {
+  // The chunked-prefill regression for PR 9: interleaving kAllRows calls
+  // must not perturb the default last-per-group path — same decoder, same
+  // workspace, and a chunked prefill afterwards still matches the serial
+  // reference bit for bit. Only the LM-head gather differs between modes.
+  Fixture f;
+  Transformer model(f.config, f.weights, f.mm, f.nl);
+  Decoder fused(model);
+  Decoder reference(model);
+
+  // A verify-window call first (resizes ws_.last to the full batch)...
+  KVCache scratch = fused.make_cache();
+  {
+    Matrix logits;
+    KVCacheRef view(scratch);
+    std::vector<KVCacheView*> views = {&view};
+    const std::vector<int> counts = {3};
+    fused.step_groups(std::span<const int>(kTokens).first(3), views, counts,
+                      logits, Decoder::LogitsMode::kAllRows);
+    ASSERT_EQ(logits.rows(), 3);
+  }
+
+  // ...then the default chunked-prefill path, which must be untouched.
+  const std::vector<int> prompt = {3, 17, 42, 9, 9, 60, 1};
+  KVCache ref_cache = reference.make_cache();
+  std::vector<float> ref_last;
+  for (const int t : prompt) ref_last = reference.step(t, ref_cache);
+
+  KVCache cache = fused.make_cache();
+  KVCacheRef view(cache);
+  Matrix logits;
+  fused.prefill_chunk(std::span<const int>(prompt).first(4), view, logits);
+  fused.prefill_chunk(std::span<const int>(prompt).subspan(4), view, logits);
+  ASSERT_EQ(logits.rows(), 1);
+  const std::span<const float> row = logits.row(0);
+  EXPECT_EQ(std::vector<float>(row.begin(), row.end()), ref_last);
+
+  // And an explicit kLastPerGroup equals the default-argument call.
+  KVCache again = fused.make_cache();
+  KVCacheRef view2(again);
+  std::vector<KVCacheView*> views2 = {&view2};
+  const int count = static_cast<int>(prompt.size());
+  Matrix explicit_logits;
+  fused.step_groups(prompt, views2, std::span<const int>(&count, 1),
+                    explicit_logits, Decoder::LogitsMode::kLastPerGroup);
+  ASSERT_EQ(explicit_logits.rows(), 1);
+  const std::span<const float> row2 = explicit_logits.row(0);
+  EXPECT_EQ(std::vector<float>(row2.begin(), row2.end()), ref_last);
+}
+
 TEST(DecoderBatch, EmptyBatchIsANoOp) {
   Fixture f;
   Transformer model(f.config, f.weights, f.mm, f.nl);

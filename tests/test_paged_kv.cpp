@@ -409,6 +409,157 @@ TEST(PagedKVPool, PrefixSharingVerifiesTokensOnQuantisedPages) {
   }
 }
 
+// --- truncate(): speculative decoding's rejection rollback ---
+
+TEST(PagedKVPool, TruncateFreesBoundaryPagesAndKeepsMidPageTails) {
+  PagedKVPool pool(tiny_config(), small_pool(4, 8));
+  const auto a = pool.create();
+  for (int i = 0; i < 10; ++i) append_position(pool, a, 100.0f);
+  EXPECT_EQ(pool.stats().pages_in_use, 3);  // 4 + 4 + 2
+
+  // Mid-page rollback keeps the partially-filled tail page: its dead
+  // slots are overwritten before any read, so nothing is freed yet.
+  pool.truncate(a, 9);
+  EXPECT_EQ(pool.length(a), 9);
+  EXPECT_EQ(pool.stats().pages_in_use, 3);
+
+  // Rolling back to an exact page boundary frees the emptied tail page.
+  pool.truncate(a, 8);
+  EXPECT_EQ(pool.length(a), 8);
+  EXPECT_EQ(pool.stats().pages_in_use, 2);
+
+  // A deep rollback crosses pages: mid-page again, one page freed.
+  pool.truncate(a, 3);
+  EXPECT_EQ(pool.length(a), 3);
+  EXPECT_EQ(pool.stats().pages_in_use, 1);
+
+  // n > length is a no-op — truncate never grows a sequence.
+  pool.truncate(a, 7);
+  EXPECT_EQ(pool.length(a), 3);
+
+  // Survivors are untouched bytes, and truncate-to-empty frees everything.
+  const PagedKVView va(pool, a);
+  for (int pos = 0; pos < 3; ++pos)
+    EXPECT_EQ(va.k_at(0, pos).front(), 100.0f + static_cast<float>(pos));
+  pool.truncate(a, 0);
+  EXPECT_EQ(pool.length(a), 0);
+  EXPECT_EQ(pool.stats().pages_in_use, 0);
+}
+
+TEST(PagedKVPool, TruncateUnrefsSharedPagesWithoutFreeingThem) {
+  // The speculative engine forks a draft off the target and rolls the
+  // fork back (or the target, past a rejection) while the other sequence
+  // still holds the pages: rollback must drop references, never storage
+  // another sequence can read.
+  PagedKVPool pool(tiny_config(), small_pool(4, 8));
+  const auto a = pool.create();
+  for (int i = 0; i < 6; ++i) append_position(pool, a, 100.0f);
+  const auto b = pool.fork(a);
+  EXPECT_EQ(pool.page_refcount(a, 5), 2);
+
+  // The follower rolls back past the shared tail page: a keeps it.
+  pool.truncate(b, 4);
+  EXPECT_EQ(pool.length(b), 4);
+  EXPECT_EQ(pool.page_refcount(a, 5), 1);
+  EXPECT_EQ(pool.page_refcount(a, 0), 2);  // first page still shared
+  EXPECT_EQ(pool.stats().pages_in_use, 2);
+  const PagedKVView va(pool, a);
+  for (int pos = 0; pos < 6; ++pos)
+    EXPECT_EQ(va.k_at(0, pos).front(), 100.0f + static_cast<float>(pos));
+
+  // b re-appends its own position 4: a fresh tail, a's rows untouched.
+  append_position(pool, b, 222.0f);
+  const PagedKVView vb(pool, b);
+  EXPECT_EQ(vb.k_at(0, 4).front(), 222.0f + 4.0f);
+  EXPECT_EQ(va.k_at(0, 4).front(), 100.0f + 4.0f);
+
+  // Rolling b back to nothing unrefs the shared first page too — freed
+  // only when a releases it as well.
+  pool.truncate(b, 0);
+  EXPECT_EQ(pool.page_refcount(a, 0), 1);
+  EXPECT_EQ(pool.stats().pages_in_use, 2);
+  pool.release(a);
+  EXPECT_EQ(pool.stats().pages_in_use, 0);
+}
+
+TEST(PagedKVPool, TruncateFreesCopiedPagesAfterDivergence) {
+  PagedKVPool pool(tiny_config(), small_pool(4, 8));
+  const auto a = pool.create();
+  for (int i = 0; i < 6; ++i) append_position(pool, a, 100.0f);
+  const auto b = pool.fork(a);
+
+  // b diverges — copy-on-write gives b a private tail page...
+  append_position(pool, b, 222.0f);
+  EXPECT_EQ(pool.stats().page_copies, 1);
+  EXPECT_EQ(pool.stats().pages_in_use, 3);
+  EXPECT_EQ(pool.page_refcount(b, 4), 1);
+
+  // ...and rolling b back past the copy returns the private page to the
+  // free list while a's original tail stays resident.
+  pool.truncate(b, 4);
+  EXPECT_EQ(pool.stats().pages_in_use, 2);
+  EXPECT_EQ(pool.page_refcount(a, 4), 1);
+  const PagedKVView va(pool, a);
+  EXPECT_EQ(va.k_at(0, 5).front(), 100.0f + 5.0f);
+}
+
+TEST(PagedKVPool, TruncateThenAppendReusesSlotsDeterministically) {
+  // The free list is LIFO, so a rollback-then-redraft cycle — exactly the
+  // speculation loop — replays onto the same physical pages with the same
+  // stats on every run, and stale slots above the cut are overwritten
+  // before any read.
+  const auto run_cycle = [](float redraft_tag) {
+    PagedKVPool pool(tiny_config(), small_pool(4, 4));
+    const auto a = pool.create();
+    for (int i = 0; i < 10; ++i) append_position(pool, a, 100.0f);
+    pool.truncate(a, 5);
+    append_chunk(pool, a, 5, redraft_tag);
+    PagedKVView view(pool, a);
+    std::vector<float> rows;
+    for (int pos = 0; pos < 10; ++pos)
+      rows.push_back(view.k_at(1, pos).front());
+    return std::tuple(rows, pool.stats().pages_allocated,
+                      pool.stats().pages_in_use);
+  };
+
+  const auto [rows, allocated, in_use] = run_cycle(300.0f);
+  for (int pos = 0; pos < 5; ++pos)
+    EXPECT_EQ(rows[static_cast<std::size_t>(pos)],
+              100.0f + static_cast<float>(pos) + 0.25f);
+  for (int pos = 5; pos < 10; ++pos)
+    EXPECT_EQ(rows[static_cast<std::size_t>(pos)],
+              300.0f + static_cast<float>(pos) + 0.25f);
+  EXPECT_EQ(in_use, 3);
+
+  // Same cycle, same page traffic: the replay is deterministic.
+  const auto [rows2, allocated2, in_use2] = run_cycle(300.0f);
+  EXPECT_EQ(rows2, rows);
+  EXPECT_EQ(allocated2, allocated);
+  EXPECT_EQ(in_use2, in_use);
+}
+
+TEST(PagedKVPool, TruncateRecoversAnExhaustedPool) {
+  // A rejected speculation window on a full pool: rollback must return
+  // enough pages for decoding to continue — the engine's degrade path
+  // depends on it.
+  PagedKVPool pool(tiny_config(), small_pool(4, 2));
+  const auto a = pool.create();
+  for (int i = 0; i < 8; ++i) append_position(pool, a, 100.0f);
+  ASSERT_FALSE(pool.reserve_next(a).is_ok());  // full
+
+  pool.truncate(a, 4);
+  EXPECT_EQ(pool.stats().pages_in_use, 1);
+  ASSERT_TRUE(pool.reserve_next(a).is_ok());
+  // Re-decoding continues into the recovered capacity; the stale slots
+  // the rollback left behind are overwritten before any read.
+  append_position(pool, a, 400.0f);
+  append_position(pool, a, 400.0f);
+  EXPECT_EQ(pool.length(a), 6);
+  const PagedKVView va(pool, a);
+  EXPECT_EQ(va.k_at(0, 4).front(), 400.0f + 4.0f);
+  EXPECT_EQ(va.k_at(0, 5).front(), 400.0f + 5.0f);
+}
+
 TEST(PagedKVView, DecoderThroughPoolMatchesContiguousCacheBitForBit) {
   llm::ModelConfig cfg = tiny_config();
   cfg.d_model = 32;

@@ -540,7 +540,8 @@ TEST(ServePrefill, ReportEmitsChunkFieldsOnlyWhenChunkingIsOn) {
 }
 
 TEST(ServePrefill, CreateRejectsBadChunkConfigurations) {
-  for (const auto [chunk, budget] : {std::pair{0, 0}, {-2, 0}, {4, -1}}) {
+  for (const auto& [chunk, budget] :
+       {std::pair{0, 0}, {-2, 0}, {4, -1}}) {
     serve::Engine::Options options;
     options.max_batch = 1;
     options.prefill_chunk = chunk;

@@ -232,6 +232,10 @@ bool is_rate_field(const std::string& key) {
   // storage) — never rate-gated, even when a future field name picks up a
   // rate-like word ("kv_bytes_peak_rate_limited" must stay exact).
   if (key.find("bytes") != std::string::npos) return false;
+  // Speculative acceptance is a pure function of the model, the two
+  // strategies and the request mix — part of the engine's determinism
+  // contract, so it stays exact despite ending in "rate".
+  if (key == "acceptance_rate") return false;
   return key.find("seconds") != std::string::npos ||
          key.find("throughput") != std::string::npos ||
          key.find("rate") != std::string::npos ||
@@ -239,12 +243,13 @@ bool is_rate_field(const std::string& key) {
          key.find("latency") != std::string::npos ||
          key.find("delay") != std::string::npos ||
          key.find("goodput") != std::string::npos ||
-         key.find("offered") != std::string::npos;
+         key.find("offered") != std::string::npos ||
+         key.find("speedup") != std::string::npos;
 }
 
 struct Rows {
-  // key "model|matmul|nonlinear|policy|workload" -> row object, plus file
-  // order for output
+  // key "model|matmul|nonlinear|policy|kv_format|workload[|draft]" -> row
+  // object, plus file order for output
   std::map<std::string, const JsonValue*> by_key;
   std::vector<std::string> order;
 };
@@ -259,10 +264,20 @@ std::string row_key(const JsonValue& row) {
   // has one row per load x policy at a fixed strategy; BENCH_serve's
   // frontier has one row per KV page format at a fixed matmul); all are
   // empty strings for rows that predate them, leaving Table 2 keys
-  // unchanged.
-  return field("model") + " | " + field("matmul") + " | " +
-         field("nonlinear") + " | " + field("policy") + " | " +
-         field("kv_format") + " | " + field("workload");
+  // unchanged. The speculative rows add draft(+draft_k): absent on
+  // target-only rows, so those keys stay byte-exact too.
+  std::string key = field("model") + " | " + field("matmul") + " | " +
+                    field("nonlinear") + " | " + field("policy") + " | " +
+                    field("kv_format") + " | " + field("workload");
+  const JsonValue* draft = row.find("draft");
+  if (draft != nullptr && draft->kind == JsonValue::Kind::kString &&
+      !draft->str.empty()) {
+    key += " | draft=" + draft->str;
+    const JsonValue* k = row.find("draft_k");
+    if (k != nullptr && k->kind == JsonValue::Kind::kNumber)
+      key += "(k=" + std::to_string(static_cast<int>(k->number)) + ")";
+  }
+  return key;
 }
 
 bool load_rows(const char* path, JsonValue& storage, Rows& rows) {

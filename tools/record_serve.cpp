@@ -18,6 +18,7 @@
 //             long-prompt|trace=PATH]
 //            [--seed N] [--rate REQS_PER_TICK] [--prefill-chunk N]
 //            [--kv-format FP32|INT8|BFP<m>|BBFP(<m>,<o>)]
+//            [--draft STRATEGY --draft-k N]
 // Env:   BBAL_MODEL (default Llama-7B), BBAL_EVAL_TOKENS (default 128),
 //        BBAL_SERVE_REQUESTS (default 8), BBAL_SERVE_NEW_TOKENS (default
 //        16), BBAL_SERVE_BATCH (default 4), BBAL_SERVE_PREFIX (default 8,
@@ -56,6 +57,16 @@
 // the committed chunked-prefill comparison: the long-prompt mix on the
 // BBFP(4,2) engine at chunk 1 / 8 / 32, one row each, with the chunk size
 // named in the row's workload descriptor so the rows key separately.
+//
+// --draft S --draft-k N turns on speculative decoding for every strategy
+// row (docs/SPECULATIVE.md): a second engine backend on strategy S drafts
+// N tokens per cycle and the row's own strategy verifies them. Greedy
+// verification makes this a scheduling change only — the stream hashes
+// must equal the target-only rows' exactly. Ad-hoc like the other pinning
+// flags: the committed sections are skipped. WITHOUT the flags the tool
+// appends the committed speculative comparison instead: the synthetic mix
+// on cross-tier (draft -> target) pairs, each row named by its draft spec
+// in the bench_compare row key.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -91,6 +102,8 @@ int main(int argc, char** argv) {
   std::string workload = "synthetic";
   std::string kv_format;  ///< empty: FP32 rows + the committed frontier
   int prefill_chunk = 0;  ///< 0: default engine + the committed comparison
+  std::string draft;      ///< empty: no speculation + the committed sweep
+  int draft_k = 0;
   std::uint64_t seed = 2024;
   double rate = 0.05;
   for (int i = 1; i < argc; ++i) {
@@ -170,6 +183,29 @@ int main(int argc, char** argv) {
         return 2;
       }
       kv_format = parsed.value().name();
+    } else if (arg == "--draft") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "record_serve: --draft needs a value\n");
+        return 2;
+      }
+      draft = argv[++i];
+      const auto parsed = bbal::quant::StrategySpec::parse(draft);
+      if (!parsed.is_ok()) {
+        std::fprintf(stderr, "record_serve: --draft: %s\n",
+                     parsed.message().c_str());
+        return 2;
+      }
+    } else if (arg == "--draft-k") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "record_serve: --draft-k needs a value\n");
+        return 2;
+      }
+      draft_k = std::atoi(argv[++i]);
+      if (draft_k < 1) {
+        std::fprintf(stderr, "record_serve: bad --draft-k value \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: record_serve [out.json] [--threads N] "
@@ -177,7 +213,8 @@ int main(int argc, char** argv) {
                    "[--workload synthetic|shared-prefix|poisson|bursty|"
                    "long-prompt|trace=PATH] [--seed N] [--rate R] "
                    "[--prefill-chunk N] "
-                   "[--kv-format FP32|INT8|BFP<m>|BBFP(<m>,<o>)]\n");
+                   "[--kv-format FP32|INT8|BFP<m>|BBFP(<m>,<o>)] "
+                   "[--draft STRATEGY --draft-k N]\n");
       return 0;
     } else if (arg.rfind("-", 0) == 0) {
       std::fprintf(stderr, "record_serve: unknown option \"%s\"\n",
@@ -191,6 +228,11 @@ int main(int argc, char** argv) {
       out_path = arg;
       have_out_path = true;
     }
+  }
+  if ((draft.empty() && draft_k > 0) || (!draft.empty() && draft_k == 0)) {
+    std::fprintf(stderr,
+                 "record_serve: --draft and --draft-k go together\n");
+    return 2;
   }
   // The knob must land before the first ThreadPool::global() use.
   if (threads_flag > 0) common::ThreadPool::set_global_threads(threads_flag);
@@ -277,6 +319,10 @@ int main(int argc, char** argv) {
                model_name.c_str(), strategies.size());
 
   std::vector<std::string> rows;
+  // Strategy-row stream hashes, kept so the committed speculative rows can
+  // be checked against their target-only siblings: greedy verification
+  // means speculation must reproduce these streams bit for bit.
+  std::vector<std::pair<std::string, std::uint32_t>> strategy_hashes;
   for (const std::string& strategy : strategies) {
     const auto spec = quant::StrategySpec::parse(strategy);
     if (!spec.is_ok()) {
@@ -288,6 +334,10 @@ int main(int argc, char** argv) {
     options.max_batch = max_batch;
     options.policy = policy;
     if (!kv_format.empty()) options.kv_format = kv_format;
+    if (draft_k > 0) {
+      options.draft = draft;
+      options.draft_k = draft_k;
+    }
     if (prefill_chunk > 0) {
       options.prefill_chunk = prefill_chunk;
       // Budget = chunk: a tick grants at most one chunk's worth of prefill
@@ -325,11 +375,22 @@ int main(int argc, char** argv) {
                    static_cast<long long>(report.requests));
       return 1;
     }
-    std::fprintf(stderr, "  %s: %lld tokens, hash %u, weights %lld B\n",
-                 strategy.c_str(),
-                 static_cast<long long>(report.generated_tokens),
-                 report.stream_hash,
-                 static_cast<long long>(report.weights_bytes));
+    if (draft_k > 0) {
+      std::fprintf(stderr,
+                   "  %s: %lld tokens, hash %u, acceptance %.3f, "
+                   "speedup %.3f\n",
+                   strategy.c_str(),
+                   static_cast<long long>(report.generated_tokens),
+                   report.stream_hash, report.acceptance_rate,
+                   report.speedup_vs_target);
+    } else {
+      std::fprintf(stderr, "  %s: %lld tokens, hash %u, weights %lld B\n",
+                   strategy.c_str(),
+                   static_cast<long long>(report.generated_tokens),
+                   report.stream_hash,
+                   static_cast<long long>(report.weights_bytes));
+    }
+    strategy_hashes.emplace_back(strategy, report.stream_hash);
     rows.push_back(report.to_json());
   }
 
@@ -340,7 +401,7 @@ int main(int argc, char** argv) {
   // the stream hash records any token divergence. Skipped when --kv-format
   // or --prefill-chunk pins an ad-hoc configuration (those paths record
   // strategy rows only).
-  if (kv_format.empty() && prefill_chunk == 0) {
+  if (kv_format.empty() && prefill_chunk == 0 && draft_k == 0) {
     const int frontier_prefix = env_int("BBAL_SERVE_FRONTIER_PREFIX", 24);
     const auto frontier_requests = serve::shared_prefix_requests(
         prepared->config, num_requests, frontier_prefix, /*suffix_len=*/4,
@@ -401,7 +462,7 @@ int main(int argc, char** argv) {
   // with TTFT falling as the chunk grows (docs/PREFILL.md quantifies).
   // The chunk size is named in the workload descriptor so the rows key
   // separately under bench_compare.
-  if (kv_format.empty() && prefill_chunk == 0) {
+  if (kv_format.empty() && prefill_chunk == 0 && draft_k == 0) {
     const int long_prompt = env_int("BBAL_SERVE_LONG_PROMPT", 96);
     const int long_every = env_int("BBAL_SERVE_LONG_EVERY", 4);
     auto prefill_requests = serve::long_prompt_requests(
@@ -457,6 +518,88 @@ int main(int argc, char** argv) {
                    chunk, report.stream_hash, report.ttft_mean_seconds,
                    report.p99_inter_token_seconds,
                    static_cast<long long>(report.mixed_ticks));
+      rows.push_back(report.to_json());
+    }
+  }
+  // The committed speculative comparison: cross-tier (draft -> target)
+  // pairs over the same synthetic mix as the strategy rows, each target
+  // priced on its iso-area accelerator and each draft on an iso-area
+  // re-provisioning of the SAME silicon budget. Greedy verification makes
+  // every row's stream hash equal its target-only sibling's above — the
+  // tool enforces that here, so a committed speculative row can never
+  // disagree with the baseline it claims to accelerate. The pairs span
+  // the interesting frontier: the INT8 self-draft where batched
+  // verification alone beats sequential decode (speedup_vs_target > 1.0
+  // at acceptance exactly 1.0), the best cross-tier pair (a high-fidelity
+  // BBFP(6,3) draft under the INT8 target), and the self-draft reference
+  // on the paper's headline BBFP(4,2) format.
+  if (kv_format.empty() && prefill_chunk == 0 && draft_k == 0) {
+    struct SpecPair {
+      const char* target;
+      const char* draft;
+      int k;
+    };
+    const std::vector<SpecPair> pairs = {
+        {"INT8", "INT8", 4},
+        {"INT8", "BBFP(6,3)", 2},
+        {"BBFP(4,2)", "BBFP(4,2)", 4},
+    };
+    const auto spec_requests = serve::synthetic_requests(
+        prepared->config, num_requests, /*base_prompt_len=*/12, new_tokens,
+        seed);
+    const std::string spec_descriptor =
+        "synthetic(n=" + std::to_string(num_requests) +
+        ",seed=" + std::to_string(seed) + ")";
+    std::fprintf(stderr, "speculative: %zu requests [%s] under %zu pairs\n",
+                 spec_requests.size(), spec_descriptor.c_str(), pairs.size());
+    for (const SpecPair& pair : pairs) {
+      const auto spec = quant::StrategySpec::parse(pair.target)
+                            .expect("speculative target");
+      serve::Engine::Options options;
+      options.max_batch = max_batch;
+      options.policy = "fifo";
+      options.draft = pair.draft;
+      options.draft_k = pair.k;
+      options.accelerator =
+          accel::make_iso_area_config(spec, /*pe_area_budget_um2=*/150000.0)
+              .expect("iso-area config");
+      auto engine = serve::Engine::create(prepared, spec,
+                                          quant::StrategySpec::fp32(),
+                                          std::move(options));
+      if (!engine.is_ok()) {
+        std::fprintf(stderr, "  %s<-%s: %s\n", pair.target, pair.draft,
+                     engine.message().c_str());
+        return 1;
+      }
+      for (const serve::Request& req : spec_requests)
+        engine.value().submit(req);
+      serve::Report report = engine.value().run();
+      report.workload = spec_descriptor;
+      if (report.completed != report.requests) {
+        std::fprintf(stderr, "  %s<-%s: only %lld of %lld completed\n",
+                     pair.target, pair.draft,
+                     static_cast<long long>(report.completed),
+                     static_cast<long long>(report.requests));
+        return 1;
+      }
+      // The strategy rows above served this exact mix when the run used
+      // the default workload — cross-check the identity there.
+      if (workload == "synthetic" && policy == "fifo") {
+        for (const auto& [strategy, hash] : strategy_hashes) {
+          if (strategy == pair.target && report.stream_hash != hash) {
+            std::fprintf(stderr,
+                         "  %s<-%s: stream hash %u diverged from the "
+                         "target-only row's %u — speculation changed "
+                         "tokens\n",
+                         pair.target, pair.draft, report.stream_hash, hash);
+            return 1;
+          }
+        }
+      }
+      std::fprintf(stderr,
+                   "  %s<-%s k=%d: hash %u, acceptance %.3f, speedup %.3f\n",
+                   pair.target, pair.draft, pair.k, report.stream_hash,
+                   report.acceptance_rate, report.speedup_vs_target);
       rows.push_back(report.to_json());
     }
   }
