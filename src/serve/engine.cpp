@@ -39,61 +39,109 @@ Result<Engine> Engine::create(
     Options options) {
   using R = Result<Engine>;
   if (!model) return R::error("no model: pass a prepared model");
-  if (options.max_batch < 1)
-    return R::error("max_batch must be >= 1, got " +
-                    std::to_string(options.max_batch));
-  if (options.kv_page_tokens < 1)
-    return R::error("kv_page_tokens must be >= 1, got " +
-                    std::to_string(options.kv_page_tokens));
-  if (options.kv_pool_pages < 0)
-    return R::error("kv_pool_pages must be >= 0 (0 = auto), got " +
-                    std::to_string(options.kv_pool_pages));
-  if (options.prefill_chunk < 1)
-    return R::error("prefill_chunk must be >= 1, got " +
-                    std::to_string(options.prefill_chunk));
-  if (options.prefill_budget < 0)
-    return R::error("prefill_budget must be >= 0 (0 = uncapped), got " +
-                    std::to_string(options.prefill_budget));
-  if (options.draft_k < 0)
-    return R::error("draft_k must be >= 0 (0 = no speculation), got " +
-                    std::to_string(options.draft_k));
-  if (options.draft_k > 0 && options.draft.empty())
-    return R::error("draft_k > 0 needs a draft strategy (Options::draft)");
-  if (options.draft_k == 0 && !options.draft.empty())
-    return R::error("draft: set draft_k >= 1 to enable speculation with " +
-                    options.draft);
+
+  // --- Validation: collect every problem, report them all at once ---
+  // One table-driven pass instead of first-failure-only piecemeal checks:
+  // a caller who got three knobs wrong fixes all three from one Status
+  // message ("; "-joined, each clause unchanged from the old errors).
+  std::vector<std::string> problems;
+  const auto flag = [&problems](bool bad, std::string message) {
+    if (bad) problems.push_back(std::move(message));
+  };
+  const struct {
+    const char* label;
+    int value;
+    int min;
+    const char* note;  ///< appended to the bound (e.g. " (0 = auto)")
+  } int_rules[] = {
+      {"max_batch", options.max_batch, 1, ""},
+      {"kv_page_tokens", options.kv_page_tokens, 1, ""},
+      {"kv_pool_pages", options.kv_pool_pages, 0, " (0 = auto)"},
+      {"prefill_chunk", options.prefill_chunk, 1, ""},
+      {"prefill_budget", options.prefill_budget, 0, " (0 = uncapped)"},
+      {"draft_k", options.draft_k, 0, " (0 = no speculation)"},
+      {"max_preemptions", options.max_preemptions, 0, ""},
+  };
+  for (const auto& rule : int_rules)
+    flag(rule.value < rule.min,
+         std::string(rule.label) + " must be >= " + std::to_string(rule.min) +
+             rule.note + ", got " + std::to_string(rule.value));
+  flag(options.draft_k > 0 && options.draft.empty(),
+       "draft_k > 0 needs a draft strategy (Options::draft)");
+  flag(options.draft_k == 0 && !options.draft.empty(),
+       "draft: set draft_k >= 1 to enable speculation with " + options.draft);
+
   auto policy = make_policy(options.policy);
-  if (!policy.is_ok()) return R::error(policy.message());
+  if (!policy.is_ok()) problems.push_back(policy.message());
   auto kv_format = quant::KvFormat::parse(options.kv_format);
-  if (!kv_format.is_ok()) return R::error("kv_format: " + kv_format.message());
+  if (!kv_format.is_ok())
+    problems.push_back("kv_format: " + kv_format.message());
 
   const BackendRegistry& registry = BackendRegistry::instance();
   {
     const auto caps = registry.capabilities(matmul);
-    if (!caps.is_ok()) return R::error("matmul: " + caps.message());
-    if (!caps.value().matmul)
-      return R::error("matmul: " + matmul.to_string() +
-                      " is not a linear-layer strategy");
+    if (!caps.is_ok()) {
+      problems.push_back("matmul: " + caps.message());
+    } else {
+      flag(!caps.value().matmul, "matmul: " + matmul.to_string() +
+                                     " is not a linear-layer strategy");
+    }
     const auto nl_caps = registry.capabilities(nonlinear);
-    if (!nl_caps.is_ok()) return R::error("nonlinear: " + nl_caps.message());
-    if (!nl_caps.value().nonlinear)
-      return R::error("nonlinear: " + nonlinear.to_string() +
-                      " is not a nonlinear strategy");
+    if (!nl_caps.is_ok()) {
+      problems.push_back("nonlinear: " + nl_caps.message());
+    } else {
+      flag(!nl_caps.value().nonlinear, "nonlinear: " + nonlinear.to_string() +
+                                           " is not a nonlinear strategy");
+    }
   }
 
   // Speculation's second backend resolves through the same registry and
   // capability gate as the target — the draft is a full matmul pipeline
   // over the same prepared weights.
   quant::StrategySpec draft_spec;
-  if (options.draft_k > 0) {
+  if (options.draft_k > 0 && !options.draft.empty()) {
     auto parsed = quant::StrategySpec::parse(options.draft);
-    if (!parsed.is_ok()) return R::error("draft: " + parsed.message());
-    draft_spec = parsed.value();
-    const auto caps = registry.capabilities(draft_spec);
-    if (!caps.is_ok()) return R::error("draft: " + caps.message());
-    if (!caps.value().matmul)
-      return R::error("draft: " + draft_spec.to_string() +
-                      " is not a linear-layer strategy");
+    if (!parsed.is_ok()) {
+      problems.push_back("draft: " + parsed.message());
+    } else {
+      draft_spec = parsed.value();
+      const auto caps = registry.capabilities(draft_spec);
+      if (!caps.is_ok()) {
+        problems.push_back("draft: " + caps.message());
+      } else if (!caps.value().matmul) {
+        problems.push_back("draft: " + draft_spec.to_string() +
+                           " is not a linear-layer strategy");
+      } else {
+        flag(options.accelerator.has_value() &&
+                 !registry.has_cost_model(draft_spec),
+             "draft: " + draft_spec.to_string() +
+                 " has no hardware cost model; drop the accelerator "
+                 "or choose a cost-modelled draft strategy");
+      }
+    }
+  }
+
+  // Accelerator: same binding rule as Session — the engine's matmul
+  // strategy drives the cost model, which must therefore exist. An SLO is
+  // judged on simulated time, so it additionally needs that accelerator.
+  flag(options.accelerator.has_value() && !registry.has_cost_model(matmul),
+       "accelerator: " + matmul.to_string() +
+           " has no hardware cost model; drop the accelerator or "
+           "choose a cost-modelled strategy");
+  if (options.slo) {
+    flag(!options.accelerator.has_value(),
+         "slo: goodput needs priced time; attach an accelerator or drop "
+         "the SLO");
+    flag(options.slo->ttft_seconds <= 0.0 ||
+             options.slo->inter_token_seconds <= 0.0,
+         "slo: thresholds must be > 0");
+  }
+
+  if (!problems.empty()) {
+    std::string joined = problems.front();
+    for (std::size_t i = 1; i < problems.size(); ++i)
+      joined += "; " + problems[i];
+    return R::error(std::move(joined));
   }
 
   Engine engine;
@@ -102,18 +150,17 @@ Result<Engine> Engine::create(
   engine.nonlinear_ = nonlinear;
   engine.policy_ = std::move(policy).value();
   engine.kv_format_ = kv_format.value();
+  engine.faults_ = std::move(options.faults);
+  engine.preempt_ = options.preempt;
+  engine.max_preemptions_ = options.max_preemptions;
   engine.kv_page_tokens_ = options.kv_page_tokens;
   engine.kv_pool_pages_ = options.kv_pool_pages;
   engine.prefill_chunk_ = options.prefill_chunk;
   engine.prefill_budget_ = options.prefill_budget;
 
-  // Accelerator: same binding rule as Session — the engine's matmul
-  // strategy drives the cost model, which must therefore exist.
+  // Accelerator binding (cost-model existence validated above): the
+  // engine's matmul strategy drives the cost model, Session's rule.
   if (options.accelerator) {
-    if (!registry.has_cost_model(matmul))
-      return R::error("accelerator: " + matmul.to_string() +
-                      " has no hardware cost model; drop the accelerator or "
-                      "choose a cost-modelled strategy");
     engine.accel_ = std::move(*options.accelerator);
     engine.accel_->strategy = matmul.to_string();
   }
@@ -123,10 +170,6 @@ Result<Engine> Engine::create(
   // comparison rule), so the reported speedup is what swapping drafting
   // work onto cheaper PEs of the same silicon actually buys.
   if (options.draft_k > 0 && engine.accel_) {
-    if (!registry.has_cost_model(draft_spec))
-      return R::error("draft: " + draft_spec.to_string() +
-                      " has no hardware cost model; drop the accelerator "
-                      "or choose a cost-modelled draft strategy");
     auto draft_accel = accel::make_iso_area_config(
         draft_spec, engine.accel_->pe_array_area_um2(),
         engine.accel_->dram_gbps);
@@ -135,18 +178,7 @@ Result<Engine> Engine::create(
     engine.draft_accel_ = std::move(draft_accel).value();
   }
 
-  // An SLO is judged on simulated time, so it needs the accelerator that
-  // prices it — rejecting the combination here keeps run() branch-free.
-  if (options.slo) {
-    if (!engine.accel_)
-      return R::error(
-          "slo: goodput needs priced time; attach an accelerator or drop "
-          "the SLO");
-    if (options.slo->ttft_seconds <= 0.0 ||
-        options.slo->inter_token_seconds <= 0.0)
-      return R::error("slo: thresholds must be > 0");
-    engine.slo_ = *options.slo;
-  }
+  if (options.slo) engine.slo_ = *options.slo;
 
   // Build the one shared pipeline: the weights are prepared (quantised)
   // exactly once here, regardless of max_batch — every request's row runs
@@ -236,12 +268,19 @@ Report Engine::run() {
     report.slo_inter_token_seconds = slo_->inter_token_seconds;
   }
   report.weights_bytes = weights_bytes();
+  report.fault_plan = faults_.describe();
+  report.preempt = preempt_;
 
   std::vector<Request> requests(std::make_move_iterator(queue_.begin()),
                                 std::make_move_iterator(queue_.end()));
   queue_.clear();
   report.requests = static_cast<std::int64_t>(requests.size());
   report.results.resize(requests.size());
+
+  // Arrival spikes rewrite the stamped workload before anything reads it:
+  // the request set is unchanged, a window of arrivals just lands at once.
+  for (const FaultPlan::ArrivalSpike& spike : faults_.spikes)
+    inject_arrival_spike(requests, spike.tick, spike.window);
 
   // Validate up front; malformed requests become error results and are
   // never admitted (the batch must survive a bad client). Valid requests
@@ -250,12 +289,14 @@ Report Engine::run() {
   // submit order exactly as before open-loop time existed.
   std::deque<std::size_t> waiting;
   std::vector<std::size_t> arrivals;
+  bool any_deadline = false;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Request& req = requests[i];
     RequestResult& out = report.results[i];
     out.id = i;
     out.prompt_tokens = static_cast<int>(req.prompt.size());
     out.arrival_tick = req.arrival_tick;
+    out.reason = FinishReason::kInvalid;  // until the request validates
     if (req.prompt.empty()) {
       out.error = "empty prompt";
       continue;
@@ -270,6 +311,17 @@ Report Engine::run() {
                   std::to_string(req.arrival_tick);
       continue;
     }
+    if (req.deadline_tick < 0) {
+      out.error = "deadline_tick must be >= 0, got " +
+                  std::to_string(req.deadline_tick);
+      continue;
+    }
+    if (req.deadline_tick > 0 && req.deadline_tick <= req.arrival_tick) {
+      out.error = "deadline_tick " + std::to_string(req.deadline_tick) +
+                  " must be > arrival_tick " +
+                  std::to_string(req.arrival_tick);
+      continue;
+    }
     const auto bad =
         std::find_if(req.prompt.begin(), req.prompt.end(),
                      [&](int t) { return t < 0 || t >= cfg.vocab; });
@@ -278,8 +330,11 @@ Report Engine::run() {
                   " outside vocabulary [0, " + std::to_string(cfg.vocab) + ")";
       continue;
     }
+    out.reason = FinishReason::kNone;
+    any_deadline |= req.deadline_tick > 0;
     arrivals.push_back(i);
   }
+  report.has_faults = preempt_ || !faults_.empty() || any_deadline;
   std::stable_sort(arrivals.begin(), arrivals.end(),
                    [&](std::size_t a, std::size_t b) {
                      return requests[a].arrival_tick <
@@ -342,8 +397,43 @@ Report Engine::run() {
   // many more requests this tick's fused batch may carry.
   int free_slots = max_batch_;
 
+  // --- Robustness state (all per request; inert on fault-free runs) ---
+  // A suspended flight's continuation prompt: the original prompt plus
+  // every token generated so far. Re-admitting it re-prefills exactly the
+  // token prefix its KV held, so the resumed stream is bit-identical (KV
+  // rows are pure functions of the token prefix; see docs/ROBUSTNESS.md).
+  std::vector<std::vector<int>> resume_prompt(requests.size());
+  const auto prompt_of = [&](std::size_t index) -> const std::vector<int>& {
+    return resume_prompt[index].empty() ? requests[index].prompt
+                                        : resume_prompt[index];
+  };
+  // Timing/progress carried across a suspension (the InFlight dies with
+  // its slot; its clocks must not).
+  struct Suspended {
+    std::int64_t tick = -1;  ///< suspension clock; -1 = not suspended
+    int steps = 0;           ///< engine ticks accumulated before suspension
+    double ttft_seconds = 0.0;
+    double ttft_wall_seconds = 0.0;
+    double last_emit_seconds = 0.0;
+    double max_gap_seconds = 0.0;
+  };
+  std::vector<Suspended> susp(requests.size());
+  std::vector<char> prefix_registered(requests.size(), 0);
+  // Earliest planned cancellation tick per request (-1 = none).
+  std::vector<std::int64_t> cancel_at(requests.size(), -1);
+  for (const FaultPlan::Cancellation& c : faults_.cancellations) {
+    if (c.request < 0 || c.request >= static_cast<int>(requests.size()))
+      continue;
+    auto& at = cancel_at[static_cast<std::size_t>(c.request)];
+    at = at < 0 ? c.tick : std::min(at, c.tick);
+  }
+  double requeue_delay_sum = 0.0;
+
   // Pages the active set is still going to allocate: the admission budget
   // that keeps mid-run exhaustion impossible under an explicit pool cap.
+  // (A resumed request's budget is unchanged: its continuation prompt has
+  // P + j tokens but only max_new - j tokens left, so total_positions of
+  // the original request still bounds its pages.)
   const auto pending_pages = [&] {
     std::int64_t pending = 0;
     for (const InFlight& flight : active)
@@ -351,8 +441,20 @@ Report Engine::run() {
                  kv.pages_for(kv.length(flight.seq));
     return pending;
   };
-  const auto fits = [&](const Request& req) {
-    const int shared = sharing ? kv.probe_prefix_tokens(req.prompt) : 0;
+  const auto fits = [&](std::size_t index) {
+    const Request& req = requests[index];
+    const std::vector<int>& prompt = prompt_of(index);
+    const int shared = sharing ? kv.probe_prefix_tokens(prompt) : 0;
+    if (preempt_) {
+      // Optimistic gate: admit when the *prefill* fits (prompt + first
+      // generated position). Decode growth past that may exhaust the
+      // pool mid-run — exactly the pressure preemption absorbs by
+      // suspending a flight instead of failing one.
+      const std::int64_t needed =
+          kv.pages_for(static_cast<int>(prompt.size()) + 1) -
+          shared / kv.page_tokens();
+      return kv.stats().pages_in_use + needed <= kv.max_pages();
+    }
     std::int64_t needed =
         kv.pages_for(total_positions(req)) - shared / kv.page_tokens();
     // Keep the transient speculative fork affordable for every flight
@@ -410,20 +512,159 @@ Report Engine::run() {
       ++next_arrival;
     }
   };
+  // Suspend a flight: release its pages (shared pages survive via their
+  // refcounts), carry its clocks and step count across the gap, and
+  // requeue it behind a continuation prompt of prompt + generated-so-far.
+  // The caller removes it from `active`.
+  const auto suspend_flight = [&](InFlight& flight) {
+    const std::size_t index = flight.request_index;
+    RequestResult& out = report.results[index];
+    if (flight.draft_seq >= 0) kv.release(flight.draft_seq);
+    kv.release(flight.seq);
+    Suspended& s = susp[index];
+    s.tick = clock;
+    s.steps += flight.steps;
+    s.ttft_seconds = flight.ttft_seconds;
+    s.ttft_wall_seconds = flight.ttft_wall_seconds;
+    s.last_emit_seconds = flight.last_emit_seconds;
+    s.max_gap_seconds = flight.max_gap_seconds;
+    std::vector<int> continuation = requests[index].prompt;
+    continuation.insert(continuation.end(), out.generated.begin(),
+                        out.generated.end());
+    resume_prompt[index] = std::move(continuation);
+    ++out.preemptions;
+    ++report.preemptions;
+    waiting.push_back(index);
+    ++free_slots;
+  };
+  // Preemption under pool pressure: the policy picks a decoding victim
+  // (still-prefilling flights hold no decode progress worth trading;
+  // flights at their preemption bound are exempt). False when nothing is
+  // preemptible.
+  const auto try_preempt = [&]() -> bool {
+    std::vector<std::size_t> decoding;
+    for (const InFlight& flight : active)
+      if (flight.prompt_pos >=
+              static_cast<int>(prompt_of(flight.request_index).size()) &&
+          report.results[flight.request_index].preemptions < max_preemptions_)
+        decoding.push_back(flight.request_index);
+    const int victim = policy_->pick_preempt(requests, decoding);
+    if (victim == SchedulerPolicy::kNone) return false;
+    const std::size_t target = decoding[static_cast<std::size_t>(victim)];
+    for (auto it = active.begin(); it != active.end(); ++it) {
+      if (it->request_index != target) continue;
+      suspend_flight(*it);
+      active.erase(it);
+      return true;
+    }
+    return false;
+  };
+  // Typed mid-run retirement: partial output stays in the result, the
+  // reason is never a bare error string. Caller removes from `active`.
+  const auto retire_flight = [&](InFlight& flight, FinishReason reason,
+                                 std::string message) {
+    const std::size_t index = flight.request_index;
+    RequestResult& out = report.results[index];
+    out.reason = reason;
+    out.error = std::move(message);
+    out.steps = susp[index].steps + flight.steps;
+    out.ttft_seconds = flight.ttft_seconds;
+    out.ttft_wall_seconds = flight.ttft_wall_seconds;
+    out.max_inter_token_seconds = flight.max_gap_seconds;
+    out.total_seconds = sim_makespan - arrival_seconds[index];
+    out.wall_seconds = seconds_since(run_start) - arrival_wall[index];
+    if (flight.draft_seq >= 0) kv.release(flight.draft_seq);
+    kv.release(flight.seq);
+    ++free_slots;
+  };
   while (next_arrival < arrivals.size() || !waiting.empty() ||
          !active.empty()) {
     deliver_arrivals();
+    if (report.has_faults) {
+      // Client cancellations and expired deadlines retire gracefully —
+      // partial output plus a typed reason — from both queues.
+      for (auto it = waiting.begin(); it != waiting.end();) {
+        const std::size_t index = *it;
+        const Request& req = requests[index];
+        RequestResult& out = report.results[index];
+        if (cancel_at[index] >= 0 && clock >= cancel_at[index]) {
+          out.reason = FinishReason::kCancelled;
+          out.error = "cancelled: fault-plan cancellation at tick " +
+                      std::to_string(cancel_at[index]);
+          out.steps = susp[index].steps;
+          ++report.cancellations;
+          it = waiting.erase(it);
+        } else if (req.deadline_tick > 0 && clock >= req.deadline_tick) {
+          out.reason = FinishReason::kTimeout;
+          out.error = "timeout: deadline tick " +
+                      std::to_string(req.deadline_tick) +
+                      " reached while queued";
+          out.steps = susp[index].steps;
+          ++report.timeouts;
+          it = waiting.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      std::erase_if(active, [&](InFlight& flight) {
+        const std::size_t index = flight.request_index;
+        const Request& req = requests[index];
+        const std::size_t emitted = report.results[index].generated.size();
+        if (cancel_at[index] >= 0 && clock >= cancel_at[index]) {
+          retire_flight(flight, FinishReason::kCancelled,
+                        "cancelled: fault-plan cancellation at tick " +
+                            std::to_string(cancel_at[index]) + " with " +
+                            std::to_string(emitted) + " of " +
+                            std::to_string(req.max_new_tokens) + " tokens");
+          ++report.cancellations;
+          return true;
+        }
+        if (req.deadline_tick > 0 && clock >= req.deadline_tick) {
+          retire_flight(flight, FinishReason::kTimeout,
+                        "timeout: deadline tick " +
+                            std::to_string(req.deadline_tick) +
+                            " reached with " + std::to_string(emitted) +
+                            " of " + std::to_string(req.max_new_tokens) +
+                            " tokens");
+          ++report.timeouts;
+          return true;
+        }
+        return false;
+      });
+    }
     if (waiting.empty() && active.empty()) {
-      // Idle: everything left is in the future. Jump, don't spin.
+      // Idle: everything left is in the future. Jump, don't spin. (The
+      // fault scans above may have retired the last live request.)
+      if (next_arrival >= arrivals.size()) break;
       clock = requests[arrivals[next_arrival]].arrival_tick;
       continue;
     }
+    // A frozen pool (fault-plan exhaustion window) admits nothing this
+    // tick — every admission allocates pages.
+    const bool frozen = report.has_faults && faults_.exhausted_at(clock);
+    // Deadline-risk preemption: a queued request whose slack cannot cover
+    // even its remaining token count claims a slot from a decoding flight
+    // rather than waiting out a completion.
+    if (preempt_ && !frozen && free_slots == 0 && !waiting.empty()) {
+      for (const std::size_t index : waiting) {
+        const Request& req = requests[index];
+        if (req.deadline_tick <= 0) continue;
+        const std::int64_t slack = req.deadline_tick - clock;
+        const std::int64_t need =
+            static_cast<std::int64_t>(prompt_of(index).size()) +
+            req.max_new_tokens;
+        if (slack <= need) {
+          (void)try_preempt();
+          break;
+        }
+      }
+    }
     // --- Admission: the policy picks, the page budget gates ---
-    while (!waiting.empty() && free_slots > 0) {
+    while (!frozen && !waiting.empty() && free_slots > 0) {
       std::vector<std::size_t> prefilling;
       for (const InFlight& flight : active)
         if (flight.prompt_pos <
-            static_cast<int>(requests[flight.request_index].prompt.size()))
+            static_cast<int>(prompt_of(flight.request_index).size()))
           prefilling.push_back(flight.request_index);
       int pick = policy_->pick(requests, waiting, prefilling, kv);
       if (pick == SchedulerPolicy::kNone) {
@@ -433,35 +674,71 @@ Report Engine::run() {
       }
       const std::size_t index = waiting[static_cast<std::size_t>(pick)];
       const Request& req = requests[index];
-      if (!fits(req)) {
-        if (!active.empty()) break;  // retirements will free pages
-        // Nothing running: reclaim shareable pages, then either the
-        // request fits or it never will.
-        kv.drop_registered_prefixes();
-        if (!fits(req)) {
-          report.results[index].error =
-              "request needs " +
-              std::to_string(kv.pages_for(total_positions(req))) +
-              " KV pages, pool capacity is " + std::to_string(kv.max_pages());
-          waiting.erase(waiting.begin() + pick);
-          continue;
+      if (!fits(index)) {
+        // Under preemption, pool pressure is absorbed by suspending
+        // decoding flights instead of waiting for retirements.
+        if (preempt_) {
+          bool progress = true;
+          while (!fits(index) && progress) progress = try_preempt();
+        }
+        if (!fits(index)) {
+          if (!active.empty()) break;  // retirements will free pages
+          // Nothing running: reclaim shareable pages, then either the
+          // request fits or it never will.
+          kv.drop_registered_prefixes();
+          if (!fits(index)) {
+            report.results[index].reason = FinishReason::kOom;
+            report.results[index].error =
+                "request needs " +
+                std::to_string(kv.pages_for(total_positions(req))) +
+                " KV pages, pool capacity is " +
+                std::to_string(kv.max_pages());
+            ++report.oom_failures;
+            waiting.erase(waiting.begin() + pick);
+            continue;
+          }
         }
       }
       InFlight flight;
       flight.request_index = index;
       waiting.erase(waiting.begin() + pick);
       --free_slots;
-      flight.seq = sharing ? kv.create(req.prompt) : kv.create();
+      const std::vector<int>& prompt = prompt_of(index);
+      flight.seq = sharing ? kv.create(prompt) : kv.create();
       flight.view = PagedKVView(kv, flight.seq);
       flight.prompt_pos = kv.shared_length(flight.seq);
-      report.results[index].shared_prompt_tokens = flight.prompt_pos;
-      report.results[index].admit_tick = clock;
-      report.results[index].queue_ticks = clock - req.arrival_tick;
+      flight.registered = prefix_registered[index] != 0;
+      if (susp[index].tick >= 0) {
+        // Resume: restore the clocks carried across the suspension. The
+        // re-prefill ahead (continuation prompt minus any shared prefix)
+        // is the recompute bill preemption pays for its freed pages;
+        // admit_tick/queue_ticks/shared_prompt_tokens keep their original
+        // admission's values.
+        Suspended& s = susp[index];
+        flight.ttft_seconds = s.ttft_seconds;
+        flight.ttft_wall_seconds = s.ttft_wall_seconds;
+        flight.last_emit_seconds = s.last_emit_seconds;
+        flight.max_gap_seconds = s.max_gap_seconds;
+        flight.resuming = true;
+        requeue_delay_sum += static_cast<double>(clock - s.tick);
+        s.tick = -1;
+        ++report.resumes;
+        report.preempt_recompute_tokens +=
+            static_cast<int>(prompt.size()) - flight.prompt_pos;
+      } else {
+        report.results[index].shared_prompt_tokens = flight.prompt_pos;
+        report.results[index].admit_tick = clock;
+        report.results[index].queue_ticks = clock - req.arrival_tick;
+      }
       active.push_back(std::move(flight));
     }
-    // Every admission failed (undersized pool): no phantom empty tick —
-    // but later arrivals may still be coming, so re-enter the loop.
-    if (active.empty()) continue;
+    // Every admission failed (undersized pool) or the pool is frozen: no
+    // phantom empty tick — but when a frozen window is the only thing in
+    // the way, the clock must advance to eventually exit it.
+    if (active.empty()) {
+      if (frozen && !waiting.empty()) ++clock;
+      continue;
+    }
     ++report.engine_steps;
     occupancy_sum += static_cast<std::int64_t>(active.size());
 
@@ -475,7 +752,7 @@ Report Engine::run() {
     prefill_remaining.clear();
     for (const InFlight& flight : active)
       prefill_remaining.push_back(
-          static_cast<int>(requests[flight.request_index].prompt.size()) -
+          static_cast<int>(prompt_of(flight.request_index).size()) -
           flight.prompt_pos);
     plan_prefill(prefill_remaining, prefill_chunk_, prefill_budget_,
                  prefill_grants);
@@ -525,11 +802,27 @@ Report Engine::run() {
     // --- Reserve this tick's KV positions (serial; allocation and
     // copy-on-write happen here, so the fused step below only appends
     // into pre-reserved, per-sequence slots). A reservation failure —
-    // only possible under an explicit undersized kv_pool_pages — retires
-    // the request with an error instead of aborting.
+    // real pool pressure (explicit undersized kv_pool_pages), an
+    // injected transient fault, or a frozen exhaustion window — either
+    // suspends the flight for a bit-identical resume (transient faults
+    // always; pool pressure when preemption is on) or retires it with a
+    // typed reason instead of aborting.
     for (InFlight& flight : active) {
       flight.tick_base = kv.length(flight.seq);
-      Status reserved = kv.reserve(flight.seq, flight.tick_rows);
+      const bool injected =
+          report.has_faults &&
+          faults_.reserve_fails(clock,
+                                static_cast<int>(flight.request_index));
+      // A frozen window refuses fresh pages; within-page appends proceed
+      // (that memory already exists).
+      const bool frozen_block =
+          frozen && kv.pages_for(flight.tick_base + flight.tick_rows) >
+                        kv.pages_for(flight.tick_base);
+      Status reserved =
+          injected ? Status::error("injected transient reserve failure")
+          : frozen_block
+              ? Status::error("KV pool frozen by fault-plan window")
+              : kv.reserve(flight.seq, flight.tick_rows);
       if (!reserved.is_ok() && flight.spec_k > 0) {
         // The verify window did not fit: give the draft fork back and
         // retry as a plain step — speculation must never retire a
@@ -538,20 +831,40 @@ Report Engine::run() {
         flight.draft_seq = -1;
         flight.spec_k = 0;
         flight.tick_rows = 1;
-        reserved = kv.reserve(flight.seq, 1);
+        if (!injected && !frozen_block) reserved = kv.reserve(flight.seq, 1);
       }
       if (!reserved.is_ok()) {
-        flight.failed = true;
-        report.results[flight.request_index].error = reserved.message();
+        RequestResult& out = report.results[flight.request_index];
+        if ((injected || preempt_) && out.preemptions < max_preemptions_) {
+          flight.requeue = true;
+        } else {
+          flight.failed = true;
+          out.reason = out.preemptions > 0
+                           ? FinishReason::kPreemptedUnrecoverable
+                           : FinishReason::kOom;
+          out.error = std::string(finish_reason_name(out.reason)) + ": " +
+                      reserved.message() + " at tick " + std::to_string(clock);
+        }
       }
     }
     std::erase_if(active, [&](InFlight& flight) {
+      if (flight.requeue) {
+        suspend_flight(flight);
+        return true;
+      }
       if (!flight.failed) return false;
       if (flight.draft_seq >= 0) kv.release(flight.draft_seq);
       kv.release(flight.seq);
       ++free_slots;
+      ++report.oom_failures;
       return true;
     });
+    // Requeues can empty the tick (e.g. every flight hit the frozen
+    // window): advance the clock so the window eventually passes.
+    if (active.empty()) {
+      ++clock;
+      continue;
+    }
     kv_pages_sum += kv.stats().pages_in_use;
 
     // --- Draft phase (speculative cycles only): the cheap backend
@@ -605,6 +918,12 @@ Report Engine::run() {
             flight.tick_rows == 1
                 ? accel::decode_step_gemms(cfg, base + 1)
                 : accel::prefill_chunk_gemms(cfg, base, flight.tick_rows);
+        // A resumed flight's re-prefill is recompute work: attribute its
+        // price (as if run alone on the same accelerator; simulated cost
+        // is additive over GEMMs) before the rows join the fused tick.
+        if (flight.resuming)
+          report.preempt_recompute_seconds +=
+              accel::simulate_workload(*accel_, step).seconds;
         workload.insert(workload.end(),
                         std::make_move_iterator(step.begin()),
                         std::make_move_iterator(step.end()));
@@ -661,13 +980,13 @@ Report Engine::run() {
     tick_counts.clear();
     for (InFlight& flight : active) {
       if (flight.tick_rows == 0) continue;  // budget passed it over
-      const Request& req = requests[flight.request_index];
+      const std::vector<int>& prompt = prompt_of(flight.request_index);
       const bool prefilling =
-          flight.prompt_pos < static_cast<int>(req.prompt.size());
+          flight.prompt_pos < static_cast<int>(prompt.size());
       if (prefilling) {
         for (int i = 0; i < flight.tick_rows; ++i)
           tick_tokens.push_back(
-              req.prompt[static_cast<std::size_t>(flight.prompt_pos + i)]);
+              prompt[static_cast<std::size_t>(flight.prompt_pos + i)]);
       } else {
         // A decode group is the verify window [x0, d1..d_spec_k]: the
         // target computes every window position's logits in this one
@@ -695,18 +1014,21 @@ Report Engine::run() {
     for (InFlight& flight : active) {
       flight.tick_emitted = 0;
       if (flight.tick_rows == 0) continue;
-      const Request& req = requests[flight.request_index];
       RequestResult& out = report.results[flight.request_index];
-      const int prompt_len = static_cast<int>(req.prompt.size());
+      const int prompt_len =
+          static_cast<int>(prompt_of(flight.request_index).size());
       if (flight.prompt_pos < prompt_len) {
         flight.prompt_pos += flight.tick_rows;
         // The tick that consumes the final prompt token emits the first
-        // generated token.
+        // generated token — for a resumed flight that is the first *new*
+        // token after the re-prefilled continuation, so the stream
+        // continues exactly where the suspension cut it.
         if (flight.prompt_pos == prompt_len) {
           const int last = all_rows ? row + flight.tick_rows - 1 : row;
           flight.last_token = greedy_argmax(tick_logits.row(last));
           out.generated.push_back(flight.last_token);
           flight.tick_emitted = 1;
+          flight.resuming = false;
           if (out.generated.size() == 1) out.first_token_tick = clock;
         }
       } else if (!all_rows) {
@@ -821,10 +1143,14 @@ Report Engine::run() {
       }
       if (flight.tick_emitted > 0) {
         // The prefill just completed: its full prompt pages become
-        // shareable for every follower with the same prefix.
+        // shareable for every follower with the same prefix. Registration
+        // is always over the *original* prompt (a resumed flight's pages
+        // cover it as a prefix of the continuation) and happens once per
+        // request across suspensions.
         if (sharing && !flight.registered) {
           kv.register_prefix(flight.seq, req.prompt);
           flight.registered = true;
+          prefix_registered[flight.request_index] = 1;
         }
       }
     }
@@ -834,7 +1160,7 @@ Report Engine::run() {
       if (static_cast<int>(out.generated.size()) < req.max_new_tokens)
         return false;
       out.ok = true;
-      out.steps = flight.steps;
+      out.steps = susp[flight.request_index].steps + flight.steps;
       out.ttft_seconds = flight.ttft_seconds;
       out.ttft_wall_seconds = flight.ttft_wall_seconds;
       out.total_seconds = sim_makespan - arrival_seconds[flight.request_index];
@@ -915,6 +1241,10 @@ Report Engine::run() {
   if (report.engine_steps > 0)
     report.mean_batch_occupancy = static_cast<double>(occupancy_sum) /
                                   static_cast<double>(report.engine_steps);
+  // --- Robustness aggregates ---
+  if (report.resumes > 0)
+    report.requeue_delay_mean_ticks =
+        requeue_delay_sum / static_cast<double>(report.resumes);
   // --- Speculative aggregates ---
   if (report.drafted_tokens > 0)
     report.acceptance_rate = static_cast<double>(report.accepted_tokens) /
@@ -941,6 +1271,24 @@ Report Engine::run() {
 }
 
 // --- Report ------------------------------------------------------------------
+
+const char* finish_reason_name(FinishReason reason) {
+  switch (reason) {
+    case FinishReason::kNone:
+      return "none";
+    case FinishReason::kInvalid:
+      return "invalid";
+    case FinishReason::kTimeout:
+      return "timeout";
+    case FinishReason::kCancelled:
+      return "cancelled";
+    case FinishReason::kPreemptedUnrecoverable:
+      return "preempted_unrecoverable";
+    case FinishReason::kOom:
+      return "oom";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -986,6 +1334,22 @@ std::string Report::to_json() const {
     append_json_int(os, "accepted_tokens", accepted_tokens);
     append_json(os, "acceptance_rate", acceptance_rate);
     if (has_cost) append_json(os, "speedup_vs_target", speedup_vs_target);
+  }
+  // Fault/preemption block only when faults, deadlines or preemption were
+  // configured: default rows stay byte-exact with the pre-faults engine.
+  if (has_faults) {
+    if (!fault_plan.empty())
+      os << ", \"fault_plan\": \"" << fault_plan << "\"";
+    append_json_int(os, "preempt", preempt ? 1 : 0);
+    append_json_int(os, "preemptions", preemptions);
+    append_json_int(os, "resumes", resumes);
+    append_json(os, "requeue_delay_mean_ticks", requeue_delay_mean_ticks);
+    append_json_int(os, "preempt_recompute_tokens", preempt_recompute_tokens);
+    if (has_cost)
+      append_json(os, "preempt_recompute_seconds", preempt_recompute_seconds);
+    append_json_int(os, "timeouts", timeouts);
+    append_json_int(os, "cancellations", cancellations);
+    append_json_int(os, "oom_failures", oom_failures);
   }
   append_json_int(os, "prompt_tokens", prompt_tokens);
   append_json_int(os, "generated_tokens", generated_tokens);

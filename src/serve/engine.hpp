@@ -77,6 +77,7 @@
 #include "accel/config.hpp"
 #include "bbal/session.hpp"
 #include "llm/decoder.hpp"
+#include "serve/faults.hpp"
 #include "serve/load.hpp"
 #include "serve/paged_kv.hpp"
 #include "serve/policy.hpp"
@@ -155,6 +156,29 @@ class Engine {
     /// off). Capped per flight so a cycle never emits past
     /// max_new_tokens.
     int draft_k = 0;
+    /// Deterministic fault-injection plan replayed against this engine's
+    /// simulated clock (see serve/faults.hpp and docs/ROBUSTNESS.md):
+    /// pool-exhaustion windows, transient reserve failures, client
+    /// cancellations and arrival spikes, all keyed by tick. The empty
+    /// default injects nothing and keeps every committed BENCH row
+    /// byte-exact.
+    FaultPlan faults;
+    /// Decode preemption: under KV-pool pressure (admission or a reserve
+    /// blocked on pages) or deadline risk, the SchedulerPolicy's
+    /// pick_preempt hook suspends a decoding flight — its private pages
+    /// are released (shared pages survive via refcounts) and the flight
+    /// requeues; on re-admission its prompt + generated-so-far tokens
+    /// re-prefill through the chunked-prefill path, continuing the stream
+    /// bit-identically. Also switches admission to an optimistic page
+    /// gate (prompt + 1 positions instead of the full completion budget),
+    /// so an explicitly undersized pool overcommits and recovers instead
+    /// of refusing admission. Off by default: the pre-preemption engine,
+    /// byte-exact.
+    bool preempt = false;
+    /// Per-request bound on suspensions (>= 0). A flight that would be
+    /// preempted past the bound retires with the typed reason
+    /// `preempted_unrecoverable` instead of thrashing forever.
+    int max_preemptions = 8;
   };
 
   /// Build an engine over a prepared model and a strategy pair. All
@@ -226,6 +250,10 @@ class Engine {
   }
   [[nodiscard]] bool has_accelerator() const { return accel_.has_value(); }
   [[nodiscard]] std::string_view policy() const { return policy_->name(); }
+  /// The run's fault-injection plan (empty by default).
+  [[nodiscard]] const FaultPlan& faults() const { return faults_; }
+  /// Decode preemption enabled (Options::preempt)?
+  [[nodiscard]] bool preempt_enabled() const { return preempt_; }
 
  private:
   /// An admitted request mid-flight: its pool sequence and progress.
@@ -246,6 +274,13 @@ class Engine {
     int tick_rows = 0;
     bool registered = false;  ///< prompt prefix registered in the pool
     bool failed = false;      ///< KV reservation failed; retire with error
+    /// This tick's reserve failed transiently (injected fault, frozen
+    /// window, or pool pressure with preemption on): suspend and requeue
+    /// instead of retiring — the flight resumes bit-identically later.
+    bool requeue = false;
+    /// Re-prefilling after a suspension: the flight's prefill rows are
+    /// recompute work, attributed to Report::preempt_recompute_seconds.
+    bool resuming = false;
     /// Speculative per-cycle state (docs/SPECULATIVE.md). The draft
     /// sequence is an ephemeral fork of `seq` — it shares every verified
     /// page (copy-on-write isolates the draft's own appends) and is
@@ -273,6 +308,9 @@ class Engine {
   std::optional<Slo> slo_;
   std::unique_ptr<SchedulerPolicy> policy_;
   quant::KvFormat kv_format_{};
+  FaultPlan faults_;
+  bool preempt_ = false;
+  int max_preemptions_ = 8;
   int kv_page_tokens_ = 16;
   int kv_pool_pages_ = 0;
   int max_batch_ = 0;

@@ -1,0 +1,198 @@
+#include "serve/faults.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace bbal::serve {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parse a non-negative integer occupying the whole of `text`.
+bool parse_i64(const std::string& text, std::int64_t* out) {
+  if (text.empty()) return false;
+  std::int64_t value = 0;
+  for (const char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// Split "A<sep>B" (first occurrence of the separator string) into halves.
+bool split_once(const std::string& text, const std::string& sep,
+                std::string* lhs, std::string* rhs) {
+  const std::size_t pos = text.find(sep);
+  if (pos == std::string::npos) return false;
+  *lhs = text.substr(0, pos);
+  *rhs = text.substr(pos + sep.size());
+  return true;
+}
+
+}  // namespace
+
+bool FaultPlan::exhausted_at(std::int64_t tick) const {
+  for (const ExhaustionWindow& w : exhaustion) {
+    if (tick >= w.begin_tick && tick < w.end_tick) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::reserve_fails(std::int64_t tick, int request) const {
+  for (const ReserveFault& f : reserve_faults) {
+    if (f.tick == tick && f.request == request) return true;
+  }
+  return false;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  const auto append = [&out](const std::string& event) {
+    if (!out.empty()) out += ';';
+    out += event;
+  };
+  for (const ExhaustionWindow& w : exhaustion) {
+    append("exhaust@" + std::to_string(w.begin_tick) + ".." +
+           std::to_string(w.end_tick));
+  }
+  for (const ReserveFault& f : reserve_faults) {
+    append("flaky@" + std::to_string(f.tick) + "#" + std::to_string(f.request));
+  }
+  for (const Cancellation& c : cancellations) {
+    append("cancel@" + std::to_string(c.tick) + "#" +
+           std::to_string(c.request));
+  }
+  for (const ArrivalSpike& s : spikes) {
+    append("spike@" + std::to_string(s.tick) + "+" +
+           std::to_string(s.window));
+  }
+  return out;
+}
+
+Result<FaultPlan> parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t semi = spec.find(';', start);
+    const std::size_t end = semi == std::string::npos ? spec.size() : semi;
+    const std::string event = trim(spec.substr(start, end - start));
+    start = end + 1;
+    if (event.empty()) continue;
+
+    std::string kind;
+    std::string body;
+    if (!split_once(event, "@", &kind, &body) || body.empty()) {
+      return Result<FaultPlan>::error(
+          "fault plan: event '" + event +
+          "' is not <kind>@<args> (kinds: exhaust, flaky, cancel, spike, "
+          "seed)");
+    }
+
+    std::string lhs;
+    std::string rhs;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    if (kind == "exhaust") {
+      if (!split_once(body, "..", &lhs, &rhs) || !parse_i64(lhs, &a) ||
+          !parse_i64(rhs, &b) || b <= a) {
+        return Result<FaultPlan>::error(
+            "fault plan: exhaust event '" + event +
+            "' must be exhaust@B..E with integer ticks E > B");
+      }
+      plan.exhaustion.push_back({a, b});
+    } else if (kind == "flaky" || kind == "cancel") {
+      if (!split_once(body, "#", &lhs, &rhs) || !parse_i64(lhs, &a) ||
+          !parse_i64(rhs, &b)) {
+        return Result<FaultPlan>::error(
+            "fault plan: " + kind + " event '" + event + "' must be " + kind +
+            "@T#R with integer tick T and request index R");
+      }
+      if (kind == "flaky") {
+        plan.reserve_faults.push_back({a, static_cast<int>(b)});
+      } else {
+        plan.cancellations.push_back({a, static_cast<int>(b)});
+      }
+    } else if (kind == "spike") {
+      if (!split_once(body, "+", &lhs, &rhs) || !parse_i64(lhs, &a) ||
+          !parse_i64(rhs, &b) || b <= 0) {
+        return Result<FaultPlan>::error(
+            "fault plan: spike event '" + event +
+            "' must be spike@T+W with integer tick T and window W > 0");
+      }
+      plan.spikes.push_back({a, b});
+    } else if (kind == "seed") {
+      if (!split_once(body, "+", &lhs, &rhs) || !parse_i64(lhs, &a) ||
+          !parse_i64(rhs, &b) || b <= 0) {
+        return Result<FaultPlan>::error(
+            "fault plan: seed event '" + event +
+            "' must be seed@S+H with integer seed S and horizon H > 0");
+      }
+      const FaultPlan seeded =
+          seeded_fault_plan(static_cast<std::uint64_t>(a), b);
+      plan.exhaustion.insert(plan.exhaustion.end(), seeded.exhaustion.begin(),
+                             seeded.exhaustion.end());
+      plan.reserve_faults.insert(plan.reserve_faults.end(),
+                                 seeded.reserve_faults.begin(),
+                                 seeded.reserve_faults.end());
+      plan.cancellations.insert(plan.cancellations.end(),
+                                seeded.cancellations.begin(),
+                                seeded.cancellations.end());
+      plan.spikes.insert(plan.spikes.end(), seeded.spikes.begin(),
+                         seeded.spikes.end());
+    } else {
+      return Result<FaultPlan>::error(
+          "fault plan: unknown event kind '" + kind +
+          "' (kinds: exhaust, flaky, cancel, spike, seed)");
+    }
+  }
+  return plan;
+}
+
+FaultPlan seeded_fault_plan(std::uint64_t seed, std::int64_t horizon) {
+  FaultPlan plan;
+  if (horizon <= 0) return plan;
+  Rng rng(seed);
+  // Two allocation freezes in the middle half of the horizon, wide enough
+  // to starve at least one admission/reserve but always shorter than the
+  // run. Draw order is fixed — the plan is a pure function of (seed,
+  // horizon).
+  for (int w = 0; w < 2; ++w) {
+    const std::int64_t lo = std::max<std::int64_t>(1, horizon / 4);
+    const std::int64_t hi = std::max(lo, (3 * horizon) / 4);
+    const std::int64_t begin = rng.uniform_int(lo, hi);
+    const std::int64_t width =
+        rng.uniform_int(2, std::max<std::int64_t>(2, horizon / 12));
+    plan.exhaustion.push_back({begin, std::min(begin + width, horizon)});
+  }
+  // Three transient reserve failures against the first eight submit
+  // indices (out-of-range indices are inert for smaller request sets).
+  for (int f = 0; f < 3; ++f) {
+    const std::int64_t tick = rng.uniform_int(1, std::max<std::int64_t>(
+                                                     1, horizon - 1));
+    const int request = static_cast<int>(rng.uniform_int(0, 7));
+    plan.reserve_faults.push_back({tick, request});
+  }
+  // One late client cancellation.
+  {
+    const std::int64_t tick = rng.uniform_int(
+        std::max<std::int64_t>(1, horizon / 2),
+        std::max<std::int64_t>(1, horizon - 1));
+    const int request = static_cast<int>(rng.uniform_int(0, 7));
+    plan.cancellations.push_back({tick, request});
+  }
+  return plan;
+}
+
+}  // namespace bbal::serve

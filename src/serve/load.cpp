@@ -116,4 +116,18 @@ void stamp_arrivals(std::vector<Request>& requests,
   for (std::size_t i = 0; i < n; ++i) requests[i].arrival_tick = ticks[i];
 }
 
+int inject_arrival_spike(std::vector<Request>& requests,
+                         std::int64_t spike_tick, std::int64_t window) {
+  if (window <= 0) return 0;
+  int moved = 0;
+  for (Request& req : requests) {
+    if (req.arrival_tick > spike_tick &&
+        req.arrival_tick < spike_tick + window) {
+      req.arrival_tick = spike_tick;
+      ++moved;
+    }
+  }
+  return moved;
+}
+
 }  // namespace bbal::serve

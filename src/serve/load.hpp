@@ -95,4 +95,13 @@ struct ArrivalSpec {
 void stamp_arrivals(std::vector<Request>& requests,
                     std::span<const std::int64_t> ticks);
 
+/// Collapse every arrival in [spike_tick, spike_tick + window) onto
+/// spike_tick: a flash crowd injected into an already-stamped workload
+/// without changing the request set or any arrival outside the window.
+/// Arrivals stay non-decreasing (only later ticks are pulled earlier, to
+/// a tick no earlier than the window start). Returns the number of
+/// requests moved. Used by serve::FaultPlan ArrivalSpike events.
+int inject_arrival_spike(std::vector<Request>& requests,
+                         std::int64_t spike_tick, std::int64_t window);
+
 }  // namespace bbal::serve

@@ -38,6 +38,26 @@ class ShortestJobFirstPolicy final : public SchedulerPolicy {
     }
     return best;
   }
+
+  [[nodiscard]] int pick_preempt(
+      const std::vector<Request>& requests,
+      const std::vector<std::size_t>& decoding) const override {
+    // Dual of pick(): evict the *longest* total job — it holds a slot
+    // (and pages) the longest, so suspending it unblocks the most short
+    // work. Ties go to the later admission (scan keeps the first max).
+    int victim = kNone;
+    std::int64_t victim_work = 0;
+    for (std::size_t d = 0; d < decoding.size(); ++d) {
+      const Request& req = requests[decoding[d]];
+      const std::int64_t work =
+          static_cast<std::int64_t>(req.prompt.size()) + req.max_new_tokens;
+      if (victim == kNone || work > victim_work) {
+        victim = static_cast<int>(d);
+        victim_work = work;
+      }
+    }
+    return victim;
+  }
 };
 
 class PrefixAwarePolicy final : public SchedulerPolicy {

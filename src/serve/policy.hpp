@@ -59,6 +59,25 @@ class SchedulerPolicy {
                                  const std::deque<std::size_t>& waiting,
                                  const std::vector<std::size_t>& prefilling,
                                  const PagedKVPool& pool) const = 0;
+
+  /// Choose which *decoding* flight to suspend under KV-pool pressure:
+  /// an index into `decoding` (which holds indices into `requests`, in
+  /// admission order), or kNone to decline preemption. Only consulted
+  /// when Engine::Options::preempt is on and admission or a reserve is
+  /// blocked on pages. The victim's private pages are released (shared
+  /// pages survive via refcounts) and the flight requeues; on resume its
+  /// prompt + generated-so-far tokens re-prefill through the chunked
+  /// prefill path, reproducing its stream bit-identically.
+  ///
+  /// Default: LIFO — suspend the most recently admitted flight, which
+  /// has the least KV to recompute under FIFO-ish admission and
+  /// preserves the oldest flights' latency. Same determinism contract as
+  /// pick(): a pure function of its arguments.
+  [[nodiscard]] virtual int pick_preempt(const std::vector<Request>& requests,
+                                         const std::vector<std::size_t>& decoding) const {
+    (void)requests;
+    return decoding.empty() ? kNone : static_cast<int>(decoding.size()) - 1;
+  }
 };
 
 /// Split one mixed tick's prefill-token budget across the active flights

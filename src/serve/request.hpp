@@ -32,7 +32,28 @@ struct Request {
   /// byte-exact. Stamped by serve::load's arrival generators; negative
   /// values are reported as error results.
   std::int64_t arrival_tick = 0;
+  /// Engine tick at which the request expires: once the clock reaches it,
+  /// the request retires gracefully with whatever tokens it has (reason
+  /// `timeout`). 0 — the default — means no deadline, which keeps every
+  /// committed BENCH row byte-exact. Must be > arrival_tick when set.
+  std::int64_t deadline_tick = 0;
 };
+
+/// Why a request stopped short of its completion budget. Every retirement
+/// path is typed: a request either completes ok, fails validation before
+/// the run (kInvalid), or ends on one of the graceful reasons below with
+/// its partial output preserved. There is no untyped failure.
+enum class FinishReason {
+  kNone = 0,                  ///< completed normally (ok)
+  kInvalid,                   ///< rejected before the run (bad input)
+  kTimeout,                   ///< deadline_tick reached mid-run
+  kCancelled,                 ///< FaultPlan client cancellation
+  kPreemptedUnrecoverable,    ///< preempted more than max_preemptions times
+  kOom,                       ///< KV pool exhausted and preemption off
+};
+
+/// Stable lowercase name ("timeout", "cancelled", ...) for report text.
+[[nodiscard]] const char* finish_reason_name(FinishReason reason);
 
 /// Per-request outcome. Timing fields are populated when the engine has an
 /// accelerator attached (has_cost in the report); wall fields always.
@@ -40,6 +61,14 @@ struct RequestResult {
   std::uint64_t id = 0;  ///< submit() order, starting at 0
   bool ok = false;
   std::string error;  ///< set when !ok (bad prompt, bad budget)
+  /// Typed retirement reason when !ok (kNone when ok). Always set
+  /// alongside `error` — no request finishes with an untyped failure;
+  /// `generated` keeps the partial stream for every mid-run reason.
+  FinishReason reason = FinishReason::kNone;
+  /// Times this flight was suspended (KV pages released) and requeued.
+  /// Non-zero only when Engine::Options::preempt is on or a FaultPlan
+  /// injected a transient reserve failure.
+  int preemptions = 0;
 
   std::vector<int> generated;  ///< the greedy continuation
   int prompt_tokens = 0;
@@ -117,6 +146,14 @@ struct Report {
   /// default rows stay byte-exact with the pre-speculative engine.
   std::string draft;
   int draft_k = 0;
+  /// Robustness configuration: the run's fault plan (FaultPlan::
+  /// describe(), "" when empty) and whether decode preemption was on.
+  /// The fault block — these two plus the robustness counters below — is
+  /// emitted in to_json() only when has_faults, so default-configured
+  /// BENCH rows stay byte-exact with the pre-faults engine.
+  std::string fault_plan;
+  bool preempt = false;
+  bool has_faults = false;  ///< faults/preempt/deadlines were configured
   bool has_cost = false;  ///< simulated timing fields are meaningful
   bool has_slo = false;   ///< an Slo was configured (and has_cost holds)
 
@@ -154,6 +191,26 @@ struct Report {
   /// emitted token at its context, on the same target accelerator —
   /// simulated cost is additive over GEMMs, so batching does not blur it.
   double speedup_vs_target = 0.0;
+
+  // Robustness accounting (has_faults runs only; exact and deterministic
+  // — every event is keyed by the simulated tick, at any BBAL_THREADS).
+  std::int64_t preemptions = 0;  ///< flights suspended (KV pages released)
+  std::int64_t resumes = 0;      ///< suspended flights re-admitted
+  /// Mean ticks a suspended flight waited between suspension and
+  /// re-admission (0 when nothing was preempted).
+  double requeue_delay_mean_ticks = 0.0;
+  /// KV rows re-prefilled on resume (prompt + generated-so-far minus the
+  /// shared prefix) — the work preemption throws away.
+  std::int64_t preempt_recompute_tokens = 0;
+  /// Simulated seconds spent re-prefilling resumed flights on the
+  /// accelerator model (valid when has_cost; included in total_seconds)
+  /// — the recompute price a preemption pays for its freed pages.
+  double preempt_recompute_seconds = 0.0;
+  std::int64_t timeouts = 0;       ///< retired at deadline_tick
+  std::int64_t cancellations = 0;  ///< FaultPlan client cancels honoured
+  /// Typed oom + preempted_unrecoverable retirements (pool pressure the
+  /// engine could not absorb).
+  std::int64_t oom_failures = 0;
 
   // Open-loop queueing aggregates (completed requests; exact ticks).
   double queue_delay_mean_ticks = 0.0;

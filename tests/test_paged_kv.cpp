@@ -538,6 +538,73 @@ TEST(PagedKVPool, TruncateThenAppendReusesSlotsDeterministically) {
   EXPECT_EQ(in_use2, in_use);
 }
 
+TEST(PagedKVPool, TruncateOfForkSourcePastSharedTailNeverLeaksPages) {
+  // The preemption path truncates/releases the SOURCE of a fork while the
+  // speculative draft still shares its tail — the mirror image of
+  // TruncateUnrefsSharedPages, where the fork rolls back. Every page must
+  // come back through the refcount: after both sequences are gone,
+  // pages_in_use is exactly zero (a silent refcount leak here would bleed
+  // pool capacity on every preempted speculative flight).
+  PagedKVPool pool(tiny_config(), small_pool(4, 8));
+  const auto a = pool.create();
+  for (int i = 0; i < 6; ++i) append_position(pool, a, 100.0f);
+  const auto b = pool.fork(a);
+  // Grow a's page table past its length (a reservation no append filled —
+  // the engine's failure paths leave exactly this state behind).
+  ASSERT_TRUE(pool.reserve(a, 3).is_ok());
+  EXPECT_EQ(pool.stats().pages_in_use, 4);  // 2 shared + CoW copy + grown
+
+  // a rolls back past the shared tail: the grown page and a's private CoW
+  // copy return to the free list; the pages b still references survive.
+  pool.truncate(a, 4);
+  EXPECT_EQ(pool.length(a), 4);
+  EXPECT_EQ(pool.stats().pages_in_use, 2);  // page0 (shared) + b's tail
+  EXPECT_EQ(pool.page_refcount(b, 5), 1);   // b now sole owner of its tail
+  const PagedKVView vb(pool, b);
+  for (int pos = 0; pos < 6; ++pos)
+    EXPECT_EQ(vb.k_at(0, pos).front(), 100.0f + static_cast<float>(pos));
+
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(pool.stats().pages_in_use, 0);
+  EXPECT_EQ(pool.stats().pages_evicted, 0);
+}
+
+TEST(PagedKVPool, ChunkReserveFailureAfterCowKeepsRefcountsBalanced) {
+  // The one reserve() path the rollback does NOT undo: the copy-on-write
+  // of a shared mid-page tail succeeds, then a boundary-page allocation
+  // fails. The sequence legitimately keeps its private copy (same rows,
+  // new physical page) — but the accounting must stay exact: the old
+  // shared tail's reference was handed to the copy, nothing double-frees,
+  // and releasing both sequences drains the pool to zero.
+  PagedKVPool pool(tiny_config(), small_pool(4, 3));
+  const auto a = pool.create();
+  for (int i = 0; i < 6; ++i) append_position(pool, a, 100.0f);
+  const auto b = pool.fork(a);  // both pages shared, 1 page free
+
+  // 5 more positions: the CoW copy consumes the last free page, then the
+  // boundary crossing (positions 8..10) has nowhere to go.
+  const Status st = pool.reserve(a, 5);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(pool.stats().page_copies, 1);
+  EXPECT_EQ(pool.stats().pages_in_use, 3);
+  EXPECT_EQ(pool.length(a), 6);  // no position was committed
+  EXPECT_EQ(pool.page_refcount(a, 5), 1);  // a's tail is now the copy
+  EXPECT_EQ(pool.page_refcount(b, 5), 1);  // b kept the original
+  // Both sequences still decode their six positions bit-identically.
+  const PagedKVView va(pool, a);
+  const PagedKVView vb(pool, b);
+  for (int pos = 0; pos < 6; ++pos) {
+    EXPECT_EQ(va.k_at(0, pos).front(), 100.0f + static_cast<float>(pos));
+    EXPECT_EQ(vb.k_at(0, pos).front(), 100.0f + static_cast<float>(pos));
+  }
+
+  pool.release(a);
+  EXPECT_EQ(pool.stats().pages_in_use, 2);  // b's two pages
+  pool.release(b);
+  EXPECT_EQ(pool.stats().pages_in_use, 0);
+}
+
 TEST(PagedKVPool, TruncateRecoversAnExhaustedPool) {
   // A rejected speculation window on a full pool: rollback must return
   // enough pages for decoding to continue — the engine's degrade path

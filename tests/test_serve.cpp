@@ -65,6 +65,18 @@ serve::Engine make_engine(const std::string& strategy, int max_batch,
       .expect("engine");
 }
 
+/// Build an engine from explicit options on the suite's default strategy,
+/// serve `requests`, and return the report.
+serve::Report run_report(const std::vector<serve::Request>& requests,
+                         serve::Engine::Options options) {
+  serve::Engine engine =
+      serve::Engine::create(tiny_model(), quant::spec_of("BBFP(4,2)"),
+                            quant::StrategySpec::fp32(), std::move(options))
+          .expect("engine");
+  for (const serve::Request& req : requests) engine.submit(req);
+  return engine.run();
+}
+
 /// FNV-1a over (id, generated tokens), mirroring the engine's stream-hash
 /// construction so tests can pin hashes against reference decodes.
 std::uint32_t reference_stream_hash(
@@ -635,6 +647,75 @@ TEST(ServeEngine, UndersizedPoolDegradesToErrorResults) {
   EXPECT_TRUE(report.results[2].ok) << report.results[2].error;
   EXPECT_EQ(report.completed, 2);
   EXPECT_EQ(report.results[0].generated, report.results[2].generated);
+}
+
+TEST(ServeEngine, CreateReportsEveryInvalidOptionInOneStatus) {
+  // The validator is table-driven: a create() with several bad options
+  // must name ALL of them in one Status, not fail on the first.
+  serve::Engine::Options options;
+  options.max_batch = 0;
+  options.kv_page_tokens = -4;
+  options.prefill_chunk = 0;
+  options.max_preemptions = -1;
+  options.policy = "round-robin";
+  const auto r =
+      serve::Engine::create(tiny_model(), quant::spec_of("BFP4"),
+                            quant::StrategySpec::fp32(), std::move(options));
+  ASSERT_FALSE(r.is_ok());
+  for (const char* problem : {"max_batch", "kv_page_tokens", "prefill_chunk",
+                              "max_preemptions", "policy"})
+    EXPECT_NE(r.message().find(problem), std::string::npos)
+        << "missing \"" << problem << "\" in: " << r.message();
+}
+
+TEST(ServeEngine, PreemptionRecoversMidRunExhaustionBitIdentically) {
+  // The overload-recovery criterion: a pool sized to exhaust mid-run (the
+  // optimistic admission gate overcommits it on purpose) must drain,
+  // requeue and complete EVERY request, with streams and hash equal to an
+  // amply-sized pool, at 1 and 4 threads. Prompt lengths are staggered so
+  // page-boundary crossings never all collide on one tick.
+  std::vector<serve::Request> requests;
+  for (const int prompt_len : {5, 9, 13, 7, 11, 6}) {
+    serve::Request req;
+    for (int t = 0; t < prompt_len; ++t)
+      req.prompt.push_back((prompt_len + t) % 96);
+    req.max_new_tokens = 8;
+    requests.push_back(std::move(req));
+  }
+
+  for (const int threads : {1, 4}) {
+    common::ThreadPool::set_global_threads(threads);
+    serve::Engine::Options ample_options;
+    ample_options.max_batch = 3;
+    ample_options.kv_page_tokens = 8;
+    const serve::Report ample = run_report(requests, ample_options);
+
+    serve::Engine::Options tight_options;
+    tight_options.max_batch = 3;
+    tight_options.kv_page_tokens = 8;
+    // Three concurrent flights all cross the position-8 page boundary on
+    // the same tick (one prefill row per tick from a common admission
+    // tick), wanting six pages at once; five force mid-run reserve
+    // failures that preemption must absorb.
+    tight_options.kv_pool_pages = 5;
+    tight_options.preempt = true;
+    tight_options.max_preemptions = 32;
+    const serve::Report tight = run_report(requests, tight_options);
+    common::ThreadPool::set_global_threads(common::ThreadPool::env_threads());
+
+    ASSERT_EQ(ample.completed, static_cast<std::int64_t>(requests.size()))
+        << threads << " threads";
+    ASSERT_EQ(tight.completed, ample.completed) << threads << " threads";
+    EXPECT_GT(tight.preemptions, 0) << threads << " threads";
+    EXPECT_EQ(tight.resumes, tight.preemptions) << threads << " threads";
+    EXPECT_EQ(tight.oom_failures, 0) << threads << " threads";
+    EXPECT_EQ(tight.stream_hash, ample.stream_hash) << threads << " threads";
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_TRUE(tight.results[i].ok) << tight.results[i].error;
+      EXPECT_EQ(tight.results[i].generated, ample.results[i].generated)
+          << "request " << i << " at " << threads << " threads";
+    }
+  }
 }
 
 }  // namespace

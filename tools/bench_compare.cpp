@@ -28,6 +28,16 @@
 //    point and checks it against the full committed sweep; matched rows
 //    are still gated field by field.
 //
+// Fault-injected rows (record_serve --fault-plan / the record_slo
+// preemption pair) need no special casing: their workload descriptor
+// carries the plan ("...+faults(exhaust@40..70)+preempt=on"), so they
+// key separately from their fault-free siblings, and the robustness
+// fields route through the same name rules — preemptions, resumes,
+// preempt_recompute_tokens, timeouts, cancellations, oom_failures and
+// preempt are integer counts gated exactly, while
+// requeue_delay_mean_ticks (a *delay*) and preempt_recompute_seconds
+// (a *seconds*) take the rate tolerance.
+//
 // Every mismatch is reported before the exit code is decided: a
 // multi-field regression shows all offending fields in one CI log.
 //

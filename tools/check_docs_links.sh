@@ -18,10 +18,10 @@ set -u
 failures=0
 
 # --- Presence: the documentation set PR 4 established (+ LOADGEN PR 6,
-#     KV_QUANT PR 7, PREFILL + METRICS PR 8) ---
+#     KV_QUANT PR 7, PREFILL + METRICS PR 8, ROBUSTNESS PR 10) ---
 for required in README.md docs/ARCHITECTURE.md docs/SERVING.md \
                 docs/STRATEGIES.md docs/LOADGEN.md docs/KV_QUANT.md \
-                docs/PREFILL.md docs/METRICS.md; do
+                docs/PREFILL.md docs/METRICS.md docs/ROBUSTNESS.md; do
   if [ ! -f "$required" ]; then
     echo "MISSING     $required"
     failures=$((failures + 1))

@@ -19,6 +19,7 @@
 //            [--seed N] [--rate REQS_PER_TICK] [--prefill-chunk N]
 //            [--kv-format FP32|INT8|BFP<m>|BBFP(<m>,<o>)]
 //            [--draft STRATEGY --draft-k N]
+//            [--fault-plan SPEC] [--preempt] [--deadline TICKS]
 // Env:   BBAL_MODEL (default Llama-7B), BBAL_EVAL_TOKENS (default 128),
 //        BBAL_SERVE_REQUESTS (default 8), BBAL_SERVE_NEW_TOKENS (default
 //        16), BBAL_SERVE_BATCH (default 4), BBAL_SERVE_PREFIX (default 8,
@@ -67,6 +68,16 @@
 // appends the committed speculative comparison instead: the synthetic mix
 // on cross-tier (draft -> target) pairs, each row named by its draft spec
 // in the bench_compare row key.
+//
+// --fault-plan SPEC / --preempt / --deadline N turn on the robustness
+// harness (docs/ROBUSTNESS.md): SPEC is the serve::parse_fault_plan
+// grammar (exhaust@B..E, flaky@T#R, cancel@T#R, spike@T+W, seed@S+H,
+// ';'-separated), --preempt enables decode preemption, and --deadline N
+// stamps every request with deadline_tick = arrival_tick + N. Chaos mode
+// skips the committed sections and self-gates every strategy row against
+// a fault-free sibling run: completed streams must be bit-identical,
+// partial output must be a prefix of the sibling's stream, and every
+// failure must carry a typed reason — the CI chaos smoke's hash gate.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -78,6 +89,7 @@
 #include "common/threadpool.hpp"
 #include "quant/kv_codec.hpp"
 #include "serve/engine.hpp"
+#include "serve/faults.hpp"
 #include "serve/load.hpp"
 #include "serve/policy.hpp"
 #include "serve/trace.hpp"
@@ -88,6 +100,48 @@ namespace {
 int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// True when `partial` is a (possibly complete) prefix of `full`.
+bool is_prefix(const std::vector<int>& partial, const std::vector<int>& full) {
+  if (partial.size() > full.size()) return false;
+  return std::equal(partial.begin(), partial.end(), full.begin());
+}
+
+/// The chaos smoke's hash gate: every faulted result must agree with the
+/// fault-free sibling run of the same engine configuration — completed
+/// streams bit-identical, partial output a strict prefix of the sibling's
+/// stream, and every failure typed (reason != none). Greedy decoding makes
+/// this exact: a request's continuation is a pure function of its prompt,
+/// so no fault may change a token it does not remove. Returns false (and
+/// prints why) on any violation.
+bool chaos_rows_agree(const char* label, const bbal::serve::Report& faulted,
+                      const bbal::serve::Report& clean) {
+  using bbal::serve::FinishReason;
+  for (std::size_t i = 0; i < faulted.results.size(); ++i) {
+    const auto& f = faulted.results[i];
+    const auto& c = clean.results[i];
+    if (f.ok && f.generated != c.generated) {
+      std::fprintf(stderr,
+                   "  %s: request %zu completed under faults but diverged "
+                   "from the fault-free stream\n",
+                   label, i);
+      return false;
+    }
+    if (!f.ok && f.reason == FinishReason::kNone) {
+      std::fprintf(stderr, "  %s: request %zu failed UNTYPED: %s\n", label, i,
+                   f.error.c_str());
+      return false;
+    }
+    if (!f.ok && !is_prefix(f.generated, c.generated)) {
+      std::fprintf(stderr,
+                   "  %s: request %zu partial output is not a prefix of the "
+                   "fault-free stream\n",
+                   label, i);
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -104,6 +158,9 @@ int main(int argc, char** argv) {
   int prefill_chunk = 0;  ///< 0: default engine + the committed comparison
   std::string draft;      ///< empty: no speculation + the committed sweep
   int draft_k = 0;
+  serve::FaultPlan fault_plan;  ///< empty: no chaos + the committed sections
+  bool preempt = false;
+  std::int64_t deadline_ticks = 0;  ///< 0: no deadlines
   std::uint64_t seed = 2024;
   double rate = 0.05;
   for (int i = 1; i < argc; ++i) {
@@ -206,6 +263,30 @@ int main(int argc, char** argv) {
                      argv[i]);
         return 2;
       }
+    } else if (arg == "--fault-plan") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "record_serve: --fault-plan needs a value\n");
+        return 2;
+      }
+      const auto parsed = serve::parse_fault_plan(argv[++i]);
+      if (!parsed.is_ok()) {
+        std::fprintf(stderr, "record_serve: %s\n", parsed.message().c_str());
+        return 2;
+      }
+      fault_plan = parsed.value();
+    } else if (arg == "--preempt") {
+      preempt = true;
+    } else if (arg == "--deadline") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "record_serve: --deadline needs a value\n");
+        return 2;
+      }
+      deadline_ticks = std::atoll(argv[++i]);
+      if (deadline_ticks < 1) {
+        std::fprintf(stderr, "record_serve: bad --deadline value \"%s\"\n",
+                     argv[i]);
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: record_serve [out.json] [--threads N] "
@@ -214,7 +295,8 @@ int main(int argc, char** argv) {
                    "long-prompt|trace=PATH] [--seed N] [--rate R] "
                    "[--prefill-chunk N] "
                    "[--kv-format FP32|INT8|BFP<m>|BBFP(<m>,<o>)] "
-                   "[--draft STRATEGY --draft-k N]\n");
+                   "[--draft STRATEGY --draft-k N] "
+                   "[--fault-plan SPEC] [--preempt] [--deadline TICKS]\n");
       return 0;
     } else if (arg.rfind("-", 0) == 0) {
       std::fprintf(stderr, "record_serve: unknown option \"%s\"\n",
@@ -312,6 +394,24 @@ int main(int argc, char** argv) {
     descriptor = "trace(" + path + ",seed=" + std::to_string(seed) + ")";
   }
 
+  // Chaos mode (--fault-plan / --preempt / --deadline): deadline-stamp the
+  // mix and suffix the descriptor so chaos rows never collide with default
+  // rows under bench_compare. The fault-free request copy keeps the
+  // original stamps — it feeds the sibling runs the chaos gate diffs
+  // against.
+  const bool chaos = !fault_plan.empty() || preempt || deadline_ticks > 0;
+  const std::vector<serve::Request> clean_requests = requests;
+  if (deadline_ticks > 0)
+    for (serve::Request& req : requests)
+      req.deadline_tick = req.arrival_tick + deadline_ticks;
+  if (chaos) {
+    if (!fault_plan.empty())
+      descriptor += "+faults(" + fault_plan.describe() + ")";
+    if (preempt) descriptor += "+preempt=on";
+    if (deadline_ticks > 0)
+      descriptor += "+deadline=" + std::to_string(deadline_ticks);
+  }
+
   std::fprintf(stderr,
                "serving %zu requests [%s] (x%d tokens, batch %d) on %s "
                "under %zu strategies...\n",
@@ -337,6 +437,10 @@ int main(int argc, char** argv) {
     if (draft_k > 0) {
       options.draft = draft;
       options.draft_k = draft_k;
+    }
+    if (chaos) {
+      options.faults = fault_plan;
+      options.preempt = preempt;
     }
     if (prefill_chunk > 0) {
       options.prefill_chunk = prefill_chunk;
@@ -368,14 +472,60 @@ int main(int argc, char** argv) {
     for (const serve::Request& req : requests) engine.value().submit(req);
     serve::Report report = engine.value().run();
     report.workload = descriptor;
-    if (report.completed != report.requests) {
+    if (!chaos && report.completed != report.requests) {
       std::fprintf(stderr, "  %s: only %lld of %lld requests completed\n",
                    strategy.c_str(),
                    static_cast<long long>(report.completed),
                    static_cast<long long>(report.requests));
       return 1;
     }
-    if (draft_k > 0) {
+    if (chaos) {
+      // The hash gate: a fault-free sibling engine (same strategy, same
+      // configuration, no faults/preempt/deadlines) serves the unstamped
+      // mix; the faulted run must agree stream for stream.
+      serve::Engine::Options clean_options;
+      clean_options.max_batch = max_batch;
+      clean_options.policy = policy;
+      if (!kv_format.empty()) clean_options.kv_format = kv_format;
+      if (draft_k > 0) {
+        clean_options.draft = draft;
+        clean_options.draft_k = draft_k;
+      }
+      if (prefill_chunk > 0) {
+        clean_options.prefill_chunk = prefill_chunk;
+        clean_options.prefill_budget = prefill_chunk > 1 ? prefill_chunk : 0;
+      }
+      if (BackendRegistry::instance().has_cost_model(spec.value()))
+        clean_options.accelerator =
+            accel::make_iso_area_config(spec.value(),
+                                        /*pe_area_budget_um2=*/150000.0)
+                .expect("iso-area config");
+      auto clean_engine =
+          serve::Engine::create(prepared, spec.value(),
+                                quant::StrategySpec::fp32(),
+                                std::move(clean_options));
+      if (!clean_engine.is_ok()) {
+        std::fprintf(stderr, "  %s (sibling): %s\n", strategy.c_str(),
+                     clean_engine.message().c_str());
+        return 1;
+      }
+      for (const serve::Request& req : clean_requests)
+        clean_engine.value().submit(req);
+      const serve::Report clean = clean_engine.value().run();
+      if (!chaos_rows_agree(strategy.c_str(), report, clean)) return 1;
+      std::fprintf(stderr,
+                   "  %s: %lld/%lld completed, hash %u, %lld preempted "
+                   "%lld resumed, %lld timeout %lld cancelled %lld oom\n",
+                   strategy.c_str(),
+                   static_cast<long long>(report.completed),
+                   static_cast<long long>(report.requests),
+                   report.stream_hash,
+                   static_cast<long long>(report.preemptions),
+                   static_cast<long long>(report.resumes),
+                   static_cast<long long>(report.timeouts),
+                   static_cast<long long>(report.cancellations),
+                   static_cast<long long>(report.oom_failures));
+    } else if (draft_k > 0) {
       std::fprintf(stderr,
                    "  %s: %lld tokens, hash %u, acceptance %.3f, "
                    "speedup %.3f\n",
@@ -401,7 +551,7 @@ int main(int argc, char** argv) {
   // the stream hash records any token divergence. Skipped when --kv-format
   // or --prefill-chunk pins an ad-hoc configuration (those paths record
   // strategy rows only).
-  if (kv_format.empty() && prefill_chunk == 0 && draft_k == 0) {
+  if (kv_format.empty() && prefill_chunk == 0 && draft_k == 0 && !chaos) {
     const int frontier_prefix = env_int("BBAL_SERVE_FRONTIER_PREFIX", 24);
     const auto frontier_requests = serve::shared_prefix_requests(
         prepared->config, num_requests, frontier_prefix, /*suffix_len=*/4,
@@ -462,7 +612,7 @@ int main(int argc, char** argv) {
   // with TTFT falling as the chunk grows (docs/PREFILL.md quantifies).
   // The chunk size is named in the workload descriptor so the rows key
   // separately under bench_compare.
-  if (kv_format.empty() && prefill_chunk == 0 && draft_k == 0) {
+  if (kv_format.empty() && prefill_chunk == 0 && draft_k == 0 && !chaos) {
     const int long_prompt = env_int("BBAL_SERVE_LONG_PROMPT", 96);
     const int long_every = env_int("BBAL_SERVE_LONG_EVERY", 4);
     auto prefill_requests = serve::long_prompt_requests(
@@ -533,7 +683,7 @@ int main(int argc, char** argv) {
   // at acceptance exactly 1.0), the best cross-tier pair (a high-fidelity
   // BBFP(6,3) draft under the INT8 target), and the self-draft reference
   // on the paper's headline BBFP(4,2) format.
-  if (kv_format.empty() && prefill_chunk == 0 && draft_k == 0) {
+  if (kv_format.empty() && prefill_chunk == 0 && draft_k == 0 && !chaos) {
     struct SpecPair {
       const char* target;
       const char* draft;

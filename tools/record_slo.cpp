@@ -44,6 +44,7 @@
 #include "bbal/registry.hpp"
 #include "common/threadpool.hpp"
 #include "serve/engine.hpp"
+#include "serve/faults.hpp"
 #include "serve/load.hpp"
 #include "serve/trace.hpp"
 
@@ -221,6 +222,99 @@ int main(int argc, char** argv) {
       rows.push_back(report.to_json());
     }
   }
+
+  // The committed preemption pair: the overload cell (load 0.32,
+  // prefix-aware) re-served under a mid-run pool-exhaustion window
+  // (serve::FaultPlan), once with preemption off and once with it on.
+  // Off, every decode flight that crosses a page boundary inside the
+  // window retires with a typed `oom`; on, the scheduler suspends the
+  // crossers, waits out the window and resumes them bit-identically.
+  // The pair is scored against a degraded-mode SLO (10x the baseline
+  // bounds, recorded in the rows): a resumed request's inter-token gap
+  // includes its suspension, so the tight steady-state SLO would score
+  // a rescued request and a dead one identically — the degraded bound
+  // is exactly the "late beats never" contract preemption exists to
+  // honour. Record-time gates keep the pair honest: goodput with
+  // preemption must STRICTLY exceed goodput without, and every failed
+  // request must carry a typed finish reason.
+  if (!quick && prefill_chunk == 0) {
+    const double load = kLoads[std::size(kLoads) - 1];
+    serve::ArrivalSpec arrival;
+    arrival.kind = serve::ArrivalSpec::Kind::kPoisson;
+    arrival.rate = load;
+    arrival.seed = kSeed;
+    const auto ticks = serve::generate_arrivals(arrival, num_requests);
+    const auto entries = serve::shared_prefix_trace(
+        num_requests, ticks, kGroups, kPrefixLen, /*suffix_len=*/4,
+        new_tokens);
+    const auto requests =
+        serve::materialize_trace(prepared->config, entries, kSeed);
+    // Window [40, 70): past the first admissions (so the engine is mid
+    // decode, not idle) and wide enough that the synchronized
+    // page-boundary crossings of whole batches land inside it.
+    const auto plan =
+        serve::parse_fault_plan("exhaust@40..70").expect("fault plan");
+    const double degraded_ttft = 10.0 * slo_ttft;
+    const double degraded_itl = 10.0 * slo_itl;
+    double goodput[2] = {0.0, 0.0};
+    for (const bool preempt_on : {false, true}) {
+      serve::Engine::Options options;
+      options.max_batch = max_batch;
+      options.policy = "prefix-aware";
+      options.accelerator =
+          accel::make_iso_area_config(spec, /*pe_area_budget_um2=*/150000.0)
+              .expect("iso-area config");
+      options.slo = serve::Slo{degraded_ttft, degraded_itl};
+      options.faults = plan;
+      options.preempt = preempt_on;
+      auto engine = serve::Engine::create(prepared, spec,
+                                          quant::StrategySpec::fp32(),
+                                          std::move(options));
+      if (!engine.is_ok()) {
+        std::fprintf(stderr, "  preempt pair (%s): %s\n",
+                     preempt_on ? "on" : "off",
+                     engine.message().c_str());
+        return 1;
+      }
+      for (const serve::Request& req : requests) engine.value().submit(req);
+      serve::Report report = engine.value().run();
+      for (const serve::RequestResult& r : report.results) {
+        if (!r.ok && r.reason == serve::FinishReason::kNone) {
+          std::fprintf(stderr,
+                       "  preempt pair (%s): request %d failed with an "
+                       "UNTYPED error: %s\n",
+                       preempt_on ? "on" : "off", r.id, r.error.c_str());
+          return 1;
+        }
+      }
+      report.workload = serve::describe_arrivals(arrival) +
+                        "+shared-prefix(n=" + std::to_string(num_requests) +
+                        ",groups=" + std::to_string(kGroups) +
+                        ",prefix=" + std::to_string(kPrefixLen) + ")+faults(" +
+                        plan.describe() +
+                        ")+preempt=" + (preempt_on ? "on" : "off");
+      goodput[preempt_on ? 1 : 0] = report.goodput_under_slo;
+      std::fprintf(stderr,
+                   "  pair preempt=%-3s %lld/%lld completed, %lld oom, "
+                   "%lld preempted %lld resumed, goodput %.3f, hash %u\n",
+                   preempt_on ? "on" : "off",
+                   static_cast<long long>(report.completed),
+                   static_cast<long long>(report.requests),
+                   static_cast<long long>(report.oom_failures),
+                   static_cast<long long>(report.preemptions),
+                   static_cast<long long>(report.resumes),
+                   report.goodput_under_slo, report.stream_hash);
+      rows.push_back(report.to_json());
+    }
+    if (goodput[1] <= goodput[0]) {
+      std::fprintf(stderr,
+                   "preemption pair: goodput with preemption (%.3f) must "
+                   "STRICTLY exceed goodput without (%.3f)\n",
+                   goodput[1], goodput[0]);
+      return 1;
+    }
+  }
+
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
